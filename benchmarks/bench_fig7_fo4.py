@@ -1,0 +1,68 @@
+"""E5 — Figure 7 / Case study 1: FO4 delay and energy gains vs number of CNTs.
+
+Sweeps the number of tubes per device at fixed gate width, locating the
+optimal pitch, and compares against the paper's anchors (2.75× / 6.3× at one
+tube, 4.2× / 2× at the ~5 nm optimal pitch, 1.4× inverter area gain).
+"""
+
+from conftest import record
+
+from repro.analysis import format_fig7, run_fig7_fo4, run_pitch_sensitivity
+from repro.circuit import cmos_inverter, cnfet_inverter, fo4_metrics_transient
+from repro.devices import FO4_GATE_WIDTH_NM, calibrated_cnfet_parameters, paper_anchors
+
+
+def test_fig7_fo4_sweep(benchmark):
+    result = benchmark(run_fig7_fo4, 20)
+    print()
+    print(format_fig7(result))
+    anchors = paper_anchors()
+    record(
+        benchmark,
+        delay_gain_single_measured=round(result["single_cnt"]["delay_gain"], 3),
+        delay_gain_single_paper=anchors.fo4_delay_gain_single_cnt,
+        energy_gain_single_measured=round(result["single_cnt"]["energy_gain"], 3),
+        energy_gain_single_paper=anchors.fo4_energy_gain_single_cnt,
+        delay_gain_optimal_measured=round(result["optimal"]["delay_gain"], 3),
+        delay_gain_optimal_paper=anchors.fo4_delay_gain_optimal,
+        energy_gain_optimal_measured=round(result["optimal"]["energy_gain"], 3),
+        energy_gain_optimal_paper=anchors.fo4_energy_gain_optimal,
+        optimal_pitch_measured_nm=round(result["optimal"]["pitch_nm"], 2),
+        optimal_pitch_paper_nm=anchors.optimal_pitch_nm,
+        inverter_area_gain_measured=round(result["inverter_area_gain"], 3),
+        inverter_area_gain_paper=anchors.inverter_area_gain,
+    )
+    assert abs(result["optimal"]["delay_gain"] - anchors.fo4_delay_gain_optimal) < 0.5
+
+
+def test_fig7_pitch_sensitivity(benchmark):
+    """The paper's optimal pitch range: 4.5-5.5 nm with ~1 % delay change."""
+    result = benchmark(run_pitch_sensitivity)
+    record(
+        benchmark,
+        delay_variation_measured=round(result["delay_variation"], 4),
+        delay_variation_paper=result["paper_variation"],
+    )
+    assert result["delay_variation"] < 0.05
+
+
+def test_fo4_transient_cross_check(benchmark):
+    """Waveform-level FO4 gain at the optimal pitch (cross-check of the
+    analytical sweep with the transient simulator)."""
+
+    def run():
+        params = calibrated_cnfet_parameters()
+        cnfet = fo4_metrics_transient(
+            cnfet_inverter(6, FO4_GATE_WIDTH_NM, parameters=params)
+        )
+        cmos = fo4_metrics_transient(cmos_inverter())
+        return cmos.delay_s / cnfet.delay_s, cmos.energy_per_cycle_j / cnfet.energy_per_cycle_j
+
+    delay_gain, energy_gain = benchmark.pedantic(run, iterations=1, rounds=1)
+    record(
+        benchmark,
+        transient_delay_gain=round(delay_gain, 3),
+        transient_energy_gain=round(energy_gain, 3),
+        paper_delay_gain=paper_anchors().fo4_delay_gain_optimal,
+    )
+    assert delay_gain > 3.0

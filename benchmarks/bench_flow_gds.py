@@ -1,0 +1,55 @@
+"""E8 — the CNFET Design Kit flow (Figures 5/6): logic to GDSII.
+
+Benchmarks the end-to-end flow — library construction, mapping, placement,
+timing/energy analysis and GDSII stream-out — on the full adder and on a
+4-bit ripple-carry adder (a larger synthetic workload beyond the paper's
+single-bit case study).
+"""
+
+from conftest import record
+
+from repro.flow import CNFETDesignKit, full_adder_netlist, ripple_carry_adder_netlist
+from repro.geometry import read_gds_summary
+
+GATES = ("INV", "NAND2")
+DRIVES = (1.0, 2.0, 4.0, 9.0)
+
+
+def test_design_kit_construction(benchmark):
+    kit = benchmark.pedantic(
+        CNFETDesignKit, kwargs=dict(gate_set=GATES, drive_strengths=DRIVES),
+        iterations=1, rounds=3,
+    )
+    record(benchmark, library_cells=len(kit.library), drc_violations=len(kit.run_drc()))
+    assert kit.run_drc() == {}
+
+
+def test_flow_full_adder(benchmark):
+    kit = CNFETDesignKit(gate_set=GATES, drive_strengths=DRIVES)
+    netlist = full_adder_netlist()
+    result = benchmark(kit.run_flow, netlist)
+    summary = read_gds_summary(result.gds_bytes)
+    record(
+        benchmark,
+        gates=result.report.gate_count,
+        area_gain=round(result.report.area_gain_vs_cmos, 3),
+        delay_gain=round(result.report.delay_gain_vs_cmos, 3),
+        energy_gain=round(result.report.energy_gain_vs_cmos, 3),
+        gds_structures=len(summary),
+    )
+    assert result.report.area_gain_vs_cmos > 1.0
+
+
+def test_flow_ripple_carry_adder(benchmark):
+    kit = CNFETDesignKit(gate_set=GATES, drive_strengths=DRIVES, scheme=2)
+    netlist = ripple_carry_adder_netlist(bits=4)
+    result = benchmark.pedantic(kit.run_flow, args=(netlist,), iterations=1, rounds=1)
+    record(
+        benchmark,
+        gates=result.report.gate_count,
+        core_area_lambda2=round(result.report.placement.core_area, 1),
+        area_gain=round(result.report.area_gain_vs_cmos, 3),
+        delay_gain=round(result.report.delay_gain_vs_cmos, 3),
+    )
+    assert result.report.gate_count == 36
+    assert result.report.placement.overlaps() == []

@@ -1,0 +1,37 @@
+"""E1 — Table 1: area of the compact layouts vs the etched-region baseline.
+
+Regenerates every (cell, transistor-width) entry of Table 1 and records the
+measured area saving next to the paper's value.
+"""
+
+from conftest import record
+
+from repro.core import PAPER_TABLE1, format_table1, table1
+
+
+def test_table1_area_savings(benchmark):
+    rows = benchmark(table1)
+    print()
+    print(format_table1(rows))
+    for row in rows:
+        key = f"{row.cell}_{row.unit_width:g}lambda"
+        record(
+            benchmark,
+            **{
+                f"{key}_measured": round(row.measured_saving, 4),
+                f"{key}_paper": row.paper_saving,
+            },
+        )
+    nand_rows = [r for r in rows if r.cell.startswith("NAND")]
+    assert all(r.error_vs_paper < 0.02 for r in nand_rows)
+    assert all(r.measured_saving >= 0.0 for r in rows)
+
+
+def test_table1_single_cell_generation_speed(benchmark):
+    """Micro-benchmark: generating both layouts of one NAND3 entry."""
+    from repro.core import area_saving
+    from repro.logic import standard_gate
+
+    row = benchmark(area_saving, standard_gate("NAND3"), 4.0)
+    record(benchmark, measured_saving=round(row.measured_saving, 4),
+           paper_saving=PAPER_TABLE1["NAND3"][4])

@@ -1,0 +1,84 @@
+"""The CNFET Design Kit end to end: logic-to-GDSII for the full adder.
+
+Reproduces Case study 2 (Figures 8/9): the NAND2 + inverter full adder is
+mapped onto the imperfection-immune standard-cell library, placed with both
+standardisation schemes, analysed for delay/energy, compared against the
+65 nm CMOS reference, and streamed out as GDSII.  A 4-bit ripple-carry adder
+is pushed through the same flow as a larger workload.
+
+Run with ``python examples/design_kit_flow.py``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.flow import CNFETDesignKit, full_adder_netlist, full_adder_verilog, \
+    ripple_carry_adder_netlist
+from repro.geometry import read_gds_summary
+
+OUTPUT_DIR = os.path.dirname(__file__)
+
+
+def run_full_adder() -> None:
+    print("=" * 68)
+    print("Case study 2: NAND2 + INV full adder (Figure 8)")
+    print("=" * 68)
+
+    netlist = full_adder_netlist()
+    for scheme in (1, 2):
+        kit = CNFETDesignKit(gate_set=("INV", "NAND2"),
+                             drive_strengths=(1.0, 2.0, 4.0, 7.0, 9.0),
+                             scheme=scheme)
+        result = kit.run_flow(netlist)
+        print(f"\n--- scheme {scheme} ---")
+        print(result.report.summary())
+        print("cell usage:", ", ".join(f"{k}x{v}" for k, v in
+                                       sorted(result.report.cell_usage.items())))
+        gds_path = os.path.join(OUTPUT_DIR, f"full_adder_scheme{scheme}.gds")
+        kit.write_gds(result, gds_path)
+        structures = read_gds_summary(result.gds_bytes)
+        print(f"GDSII: {gds_path} ({len(structures)} structures)")
+
+    print("\nThe paper reports ~3.5x delay, ~1.5x energy and ~1.4x / ~1.6x area")
+    print("gains for schemes 1 / 2; the report above shows the reproduced values.")
+
+
+def run_ripple_carry_adder() -> None:
+    print()
+    print("=" * 68)
+    print("Beyond the paper: 4-bit ripple-carry adder through the same flow")
+    print("=" * 68)
+    kit = CNFETDesignKit(gate_set=("INV", "NAND2"), drive_strengths=(1.0, 2.0, 4.0),
+                         scheme=2)
+    result = kit.run_flow(ripple_carry_adder_netlist(bits=4))
+    print(result.report.summary())
+
+
+def show_library_views() -> None:
+    print()
+    print("=" * 68)
+    print("Library views")
+    print("=" * 68)
+    kit = CNFETDesignKit(gate_set=("INV", "NAND2", "NAND3", "AOI21"),
+                         drive_strengths=(1.0, 2.0))
+    liberty = kit.liberty()
+    liberty_path = os.path.join(OUTPUT_DIR, "cnfet65_compact.lib")
+    with open(liberty_path, "w") as stream:
+        stream.write(liberty)
+    print(f"Liberty timing view written to {liberty_path} "
+          f"({liberty.count('cell (')} cells)")
+    print(f"DRC over the whole library: "
+          f"{'clean' if not kit.run_drc() else kit.run_drc()}")
+    print("\nStructural Verilog accepted by the flow, e.g.:")
+    print("\n".join(full_adder_verilog().splitlines()[:6]) + "\n  ...")
+
+
+def main() -> None:
+    run_full_adder()
+    run_ripple_carry_adder()
+    show_library_views()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Figure 2 scenario: why conventional CNFET layouts fail and the paper's
+layouts do not.
+
+Builds the same NAND2 cell with three layout techniques — the vulnerable
+conventional layout, the etched-region baseline of Patil et al. [6], and the
+paper's compact Euler-path layout — then bombards each with mispositioned
+CNTs and reports how often the logic function is corrupted.
+
+Run with ``python examples/imperfection_immunity.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import assemble_cell, standard_gate
+from repro.immunity import (
+    ImmunityChecker,
+    compare_techniques,
+    format_comparison,
+    nominal_cnts,
+    random_mispositioned_cnts,
+)
+
+
+def inspect_single_failure() -> None:
+    """Show one concrete failing defect on the vulnerable layout."""
+    gate = standard_gate("NAND2")
+    cell = assemble_cell(gate, technique="vulnerable", scheme=1)
+    annotations = cell.annotations()
+    checker = ImmunityChecker(annotations)
+    nominal = nominal_cnts(annotations, axis="x")
+
+    rng = np.random.default_rng(2009)
+    print("Hunting for a corrupting mispositioned CNT on the vulnerable layout...")
+    for trial in range(1, 201):
+        strays = random_mispositioned_cnts(annotations, 3, rng, axis="x")
+        report = checker.check(nominal, strays, expected=gate.expected_truth_table())
+        if not report.immune:
+            print(f"  trial {trial}: function corrupted on "
+                  f"{report.failure_count} input combination(s)")
+            for assignment in report.failing_assignments[:2]:
+                bits = ", ".join(f"{k}={int(v)}" for k, v in sorted(assignment.items()))
+                observed = report.observed.row(assignment)
+                expected = report.expected.row(assignment)
+                observed_text = "X (conflict/floating)" if observed is None else int(observed)
+                print(f"    inputs {bits}: expected {int(expected)}, got {observed_text}")
+            break
+    else:
+        print("  no failure found in 200 trials (try more CNTs per trial)")
+    print()
+
+
+def monte_carlo_comparison() -> None:
+    """The headline Figure 2 comparison across all three techniques."""
+    for gate_name in ("NAND2", "NAND3"):
+        results = compare_techniques(gate_name, trials=300, cnts_per_trial=4, seed=7)
+        print(f"{gate_name} under mispositioned-CNT injection (300 trials, 4 CNTs each):")
+        print(format_comparison(results))
+        print()
+
+
+def main() -> None:
+    inspect_single_failure()
+    monte_carlo_comparison()
+    print("Conclusion: the Euler-path compact layouts (and the etched baseline)")
+    print("keep 100% functionality, the conventional layout does not — the")
+    print("compact layouts achieve this without any etched region or vertical")
+    print("gating, which is the paper's core contribution.")
+
+
+if __name__ == "__main__":
+    main()

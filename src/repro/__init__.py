@@ -1,0 +1,65 @@
+"""repro — reproduction of "Design of Compact Imperfection-Immune CNFET
+Layouts for Standard-Cell-Based Logic Synthesis" (Bobba et al., DATE 2009).
+
+The package is organised as:
+
+* :mod:`repro.core` — the paper's contribution: Euler-path compact
+  misaligned-CNT-immune layouts, the baseline/vulnerable references, area
+  models and standard-cell assembly (schemes 1 and 2);
+* :mod:`repro.immunity` — the mispositioned-CNT Monte Carlo analysis;
+* :mod:`repro.devices` / :mod:`repro.circuit` — CNFET and 65 nm MOSFET
+  compact models, transient simulation, FO4 analysis, gate-level timing;
+* :mod:`repro.cells` / :mod:`repro.flow` — the CNFET Design Kit: standard
+  cell library, Liberty export, technology mapping, placement and GDSII;
+* :mod:`repro.tech` / :mod:`repro.geometry` / :mod:`repro.logic` /
+  :mod:`repro.euler` — the supporting substrates;
+* :mod:`repro.analysis` — the experiment runners that regenerate every
+  table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import assemble_cell, standard_gate, CNFETDesignKit
+    from repro.flow import full_adder_netlist
+
+    cell = assemble_cell(standard_gate("NAND3"), scheme=2)
+    kit = CNFETDesignKit(scheme=1)
+    result = kit.run_flow(full_adder_netlist())
+    print(result.report.summary())
+"""
+
+from .analysis import run_all, run_fig7_fo4, run_fulladder_case_study, run_table1
+from .cells import StandardCellLibrary, build_library
+from .circuit import cmos_inverter, cnfet_inverter, compare_fo4, fo4_metrics
+from .core import (
+    StandardCell,
+    assemble_cell,
+    baseline_network_layout,
+    compact_network_layout,
+    inverter_area_gain,
+    table1,
+    vulnerable_network_layout,
+)
+from .devices import CNFET, MOSFET, calibrated_cnfet_parameters, paper_anchors
+from .errors import ReproError
+from .flow import CNFETDesignKit, full_adder_netlist, parse_structural_verilog
+from .immunity import compare_techniques, run_immunity_trials
+from .logic import GateNetworks, parse_expression, standard_gate
+from .tech import CMOS_RULES, CNFET_RULES, cmos65_node, cnfet65_node
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "run_all", "run_fig7_fo4", "run_fulladder_case_study", "run_table1",
+    "StandardCellLibrary", "build_library",
+    "cmos_inverter", "cnfet_inverter", "compare_fo4", "fo4_metrics",
+    "StandardCell", "assemble_cell", "baseline_network_layout",
+    "compact_network_layout", "inverter_area_gain", "table1",
+    "vulnerable_network_layout",
+    "CNFET", "MOSFET", "calibrated_cnfet_parameters", "paper_anchors",
+    "ReproError",
+    "CNFETDesignKit", "full_adder_netlist", "parse_structural_verilog",
+    "compare_techniques", "run_immunity_trials",
+    "GateNetworks", "parse_expression", "standard_gate",
+    "CNFET_RULES", "CMOS_RULES", "cnfet65_node", "cmos65_node",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Comparison metrics and per-figure experiment runners."""
+
+from .experiments import (
+    format_fig7,
+    format_fulladder,
+    run_all,
+    run_edp_summary,
+    run_fig2_immunity,
+    run_fig3_nand3,
+    run_fig4_aoi31,
+    run_fig7_fo4,
+    run_fulladder_case_study,
+    run_pitch_sensitivity,
+    run_table1,
+)
+from .metrics import GainReport, TechnologyFigures, edap, edp, gain
+
+__all__ = [
+    "format_fig7",
+    "format_fulladder",
+    "run_all",
+    "run_edp_summary",
+    "run_fig2_immunity",
+    "run_fig3_nand3",
+    "run_fig4_aoi31",
+    "run_fig7_fo4",
+    "run_fulladder_case_study",
+    "run_pitch_sensitivity",
+    "run_table1",
+    "GainReport",
+    "TechnologyFigures",
+    "edap",
+    "edp",
+    "gain",
+]

@@ -1,0 +1,313 @@
+"""Experiment runners: one function per table/figure of the paper.
+
+Each ``run_*`` function regenerates one evaluation artefact and returns a
+plain dictionary of measured values (plus the paper's reported values where
+it states them), so benchmarks, examples and EXPERIMENTS.md all draw from
+the same code path.  ``format_*`` helpers render the dictionaries as text
+tables for human consumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Dict, List, Optional, Sequence
+
+from ..cells.library import build_library
+from ..circuit.fo4 import compare_fo4
+from ..circuit.inverter import cmos_inverter, cnfet_inverter
+from ..core.area import format_table1, inverter_area_gain, table1
+from ..core.compact import compact_network_layout
+from ..core.sizing import size_gate
+from ..core.standard_cell import assemble_cell
+from ..devices.calibration import (
+    CMOS_NMOS_WIDTH_NM,
+    CMOS_PMOS_WIDTH_NM,
+    FO4_GATE_WIDTH_NM,
+    calibrated_cnfet_parameters,
+    paper_anchors,
+)
+from ..flow.designkit import CNFETDesignKit
+from ..flow.verilog import full_adder_netlist
+from ..immunity.montecarlo import compare_techniques, format_comparison
+from ..logic.functions import aoi31, standard_gate
+from .metrics import GainReport, TechnologyFigures
+
+
+# ---------------------------------------------------------------------------
+# E1 / E2 — Table 1 and the Figure 3 NAND3 walk-through
+# ---------------------------------------------------------------------------
+
+def run_table1() -> Dict[str, object]:
+    """Regenerate Table 1 (area saving of the compact vs baseline layouts)."""
+    rows = table1()
+    return {
+        "rows": rows,
+        "formatted": format_table1(rows),
+        "mean_absolute_error": _mean_absolute_error(rows),
+    }
+
+
+def _mean_absolute_error(rows) -> float:
+    errors = [row.error_vs_paper for row in rows if row.error_vs_paper is not None]
+    return sum(errors) / len(errors) if errors else 0.0
+
+
+def run_fig3_nand3(unit_width: float = 4.0) -> Dict[str, float]:
+    """The Figure 3 NAND3 compaction number (paper: 16.67 % at 4 λ)."""
+    from ..core.area import area_saving
+
+    row = area_saving(standard_gate("NAND3"), unit_width)
+    return {
+        "unit_width": unit_width,
+        "baseline_area": row.baseline_area,
+        "compact_area": row.compact_area,
+        "measured_saving": row.measured_saving,
+        "paper_saving": paper_anchors().nand3_area_saving_4lambda,
+    }
+
+
+# ---------------------------------------------------------------------------
+# E3 — Figure 2: mispositioned-CNT immunity
+# ---------------------------------------------------------------------------
+
+def run_fig2_immunity(gate_name: str = "NAND2", trials: int = 200,
+                      cnts_per_trial: int = 4, seed: int = 2009) -> Dict[str, object]:
+    """Monte Carlo immunity of the vulnerable / baseline / compact layouts."""
+    results = compare_techniques(
+        gate_name, trials=trials, cnts_per_trial=cnts_per_trial, seed=seed
+    )
+    return {
+        "gate": gate_name,
+        "results": results,
+        "formatted": format_comparison(results),
+        "vulnerable_failure_rate": results["vulnerable"].failure_rate,
+        "baseline_immune": results["baseline"].immune,
+        "compact_immune": results["compact"].immune,
+    }
+
+
+# ---------------------------------------------------------------------------
+# E4 — Figure 4: the AOI31 generalised layout
+# ---------------------------------------------------------------------------
+
+def run_fig4_aoi31(unit_width: float = 4.0) -> Dict[str, object]:
+    """Generate the AOI31 compact layouts (basic and width-balanced)."""
+    gate = aoi31()
+    sizing = size_gate(gate, unit_width)
+    pun = compact_network_layout(gate.pun, gate.pun_tree, unit_width)
+    pdn = compact_network_layout(gate.pdn, gate.pdn_tree, unit_width)
+    cell_s1 = assemble_cell(gate, scheme=1, unit_width=unit_width)
+    cell_s2 = assemble_cell(gate, scheme=2, unit_width=unit_width)
+    return {
+        "gate": gate.name,
+        "pun_contacts": pun.contact_count,
+        "pun_gates": pun.gate_count,
+        "pdn_contacts": pdn.contact_count,
+        "pdn_gates": pdn.gate_count,
+        "pun_width_factors": sorted(set(sizing.pun_widths.values())),
+        "pdn_width_factors": sorted(set(sizing.pdn_widths.values())),
+        "scheme1_area": cell_s1.area,
+        "scheme2_area": cell_s2.area,
+        "requires_etched_regions": pun.etch_count + pdn.etch_count,
+    }
+
+
+# ---------------------------------------------------------------------------
+# E5 — Figure 7 / Case study 1: FO4 gains vs number of CNTs
+# ---------------------------------------------------------------------------
+
+def run_fig7_fo4(max_tubes: int = 20, gate_width_nm: float = FO4_GATE_WIDTH_NM,
+                 vdd: float = 1.0) -> Dict[str, object]:
+    """Sweep the number of CNTs per device at fixed gate width (Figure 7)."""
+    params = calibrated_cnfet_parameters()
+    reference = cmos_inverter(CMOS_NMOS_WIDTH_NM, CMOS_PMOS_WIDTH_NM)
+    anchors = paper_anchors()
+
+    sweep: List[Dict[str, float]] = []
+    best_index = 0
+    for tubes in range(1, max_tubes + 1):
+        comparison = compare_fo4(
+            cnfet_inverter(tubes, gate_width_nm, parameters=params), reference, vdd
+        )
+        sweep.append(
+            {
+                "num_tubes": tubes,
+                "pitch_nm": gate_width_nm / tubes,
+                "delay_gain": comparison.delay_gain,
+                "energy_gain": comparison.energy_gain,
+                "edp_gain": comparison.edp_gain,
+                "cnfet_delay_ps": comparison.cnfet.delay_s * 1e12,
+                "cmos_delay_ps": comparison.cmos.delay_s * 1e12,
+            }
+        )
+        if sweep[best_index]["delay_gain"] < comparison.delay_gain:
+            best_index = len(sweep) - 1
+
+    best = sweep[best_index]
+    single = sweep[0]
+    area = inverter_area_gain(unit_width=4.0, scheme=1)
+    return {
+        "sweep": sweep,
+        "single_cnt": single,
+        "optimal": best,
+        "inverter_area_gain": area.gain,
+        "paper": {
+            "delay_gain_single_cnt": anchors.fo4_delay_gain_single_cnt,
+            "energy_gain_single_cnt": anchors.fo4_energy_gain_single_cnt,
+            "delay_gain_optimal": anchors.fo4_delay_gain_optimal,
+            "energy_gain_optimal": anchors.fo4_energy_gain_optimal,
+            "optimal_pitch_nm": anchors.optimal_pitch_nm,
+            "inverter_area_gain": anchors.inverter_area_gain,
+        },
+    }
+
+
+def format_fig7(result: Dict[str, object]) -> str:
+    """Render the Figure 7 sweep as a text table."""
+    header = f"{'CNTs':>5} {'pitch(nm)':>10} {'delay gain':>11} {'energy gain':>12} {'EDP gain':>9}"
+    lines = [header, "-" * len(header)]
+    for point in result["sweep"]:
+        lines.append(
+            f"{point['num_tubes']:>5} {point['pitch_nm']:>10.2f} "
+            f"{point['delay_gain']:>11.2f} {point['energy_gain']:>12.2f} "
+            f"{point['edp_gain']:>9.2f}"
+        )
+    best = result["optimal"]
+    paper = result["paper"]
+    lines.append("")
+    lines.append(
+        f"optimal: {best['delay_gain']:.2f}x delay, {best['energy_gain']:.2f}x energy "
+        f"at pitch {best['pitch_nm']:.2f} nm "
+        f"(paper: {paper['delay_gain_optimal']}x, {paper['energy_gain_optimal']}x at "
+        f"{paper['optimal_pitch_nm']} nm)"
+    )
+    return "\n".join(lines)
+
+
+def run_pitch_sensitivity(gate_width_nm: float = FO4_GATE_WIDTH_NM,
+                          pitch_range_nm=(4.5, 5.5), steps: int = 11) -> Dict[str, float]:
+    """Delay variation across the paper's "optimal pitch range" (≤1 %)."""
+    params = calibrated_cnfet_parameters()
+    reference = cmos_inverter(CMOS_NMOS_WIDTH_NM, CMOS_PMOS_WIDTH_NM)
+    low, high = pitch_range_nm
+    delays = []
+    for index in range(steps):
+        pitch = low + (high - low) * index / (steps - 1)
+        tubes = max(1, int(round(gate_width_nm / pitch)))
+        comparison = compare_fo4(
+            cnfet_inverter(tubes, gate_width_nm, pitch_nm=pitch, parameters=params),
+            reference,
+        )
+        delays.append(comparison.cnfet.delay_s)
+    variation = (max(delays) - min(delays)) / min(delays)
+    return {
+        "pitch_low_nm": low,
+        "pitch_high_nm": high,
+        "delay_variation": variation,
+        "paper_variation": paper_anchors().optimal_pitch_delay_variation,
+    }
+
+
+# ---------------------------------------------------------------------------
+# E6 — Figures 8/9 / Case study 2: the full adder
+# ---------------------------------------------------------------------------
+
+def run_fulladder_case_study(unit_width: float = 4.0) -> Dict[str, object]:
+    """Full-adder delay/energy/area for scheme 1, scheme 2 and CMOS."""
+    anchors = paper_anchors()
+    netlist = full_adder_netlist()
+
+    kits = {
+        1: CNFETDesignKit(scheme=1, unit_width=unit_width),
+        2: CNFETDesignKit(scheme=2, unit_width=unit_width),
+    }
+    results = {scheme: kit.run_flow(netlist) for scheme, kit in kits.items()}
+
+    def figures(scheme: int) -> GainReport:
+        flow = results[scheme]
+        cnfet = TechnologyFigures(
+            name=f"cnfet_scheme{scheme}",
+            delay_s=flow.report.timing.critical_path_delay,
+            energy_per_cycle_j=flow.report.timing.total_energy_per_cycle,
+            area_lambda2=flow.report.placement.core_area,
+        )
+        cmos = TechnologyFigures(
+            name="cmos65",
+            delay_s=flow.report.cmos_timing.critical_path_delay,
+            energy_per_cycle_j=flow.report.cmos_timing.total_energy_per_cycle,
+            area_lambda2=flow.report.cmos_placement.core_area,
+        )
+        return GainReport(cnfet=cnfet, cmos=cmos)
+
+    gains = {scheme: figures(scheme) for scheme in results}
+    return {
+        "flow_results": results,
+        "gains": gains,
+        "delay_gain": gains[1].delay_gain,
+        "energy_gain": gains[1].energy_gain,
+        "area_gain_scheme1": gains[1].area_gain,
+        "area_gain_scheme2": gains[2].area_gain,
+        "paper": {
+            "delay_gain": anchors.fulladder_delay_gain,
+            "energy_gain": anchors.fulladder_energy_gain,
+            "area_gain_scheme1": anchors.fulladder_area_gain_scheme1,
+            "area_gain_scheme2": anchors.fulladder_area_gain_scheme2,
+        },
+    }
+
+
+def format_fulladder(result: Dict[str, object]) -> str:
+    """Render the full-adder case study as text."""
+    paper = result["paper"]
+    lines = [
+        "Full adder (NAND2 + INV, Figure 8) — CNFET vs 65 nm CMOS",
+        "-" * 60,
+        f"delay gain            : {result['delay_gain']:.2f}x (paper ~{paper['delay_gain']}x)",
+        f"energy gain           : {result['energy_gain']:.2f}x (paper ~{paper['energy_gain']}x)",
+        f"area gain (scheme 1)  : {result['area_gain_scheme1']:.2f}x (paper ~{paper['area_gain_scheme1']}x)",
+        f"area gain (scheme 2)  : {result['area_gain_scheme2']:.2f}x (paper ~{paper['area_gain_scheme2']}x)",
+    ]
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# E7 — headline EDP / EDAP summary (abstract + conclusions)
+# ---------------------------------------------------------------------------
+
+def run_edp_summary() -> Dict[str, float]:
+    """Inverter-level EDP/EDAP gains at the optimal pitch."""
+    fig7 = run_fig7_fo4()
+    best = fig7["optimal"]
+    single = fig7["single_cnt"]
+    area_gain = fig7["inverter_area_gain"]
+    anchors = paper_anchors()
+    edp_gain_optimal = best["delay_gain"] * best["energy_gain"]
+    edp_gain_single = single["delay_gain"] * single["energy_gain"]
+    return {
+        "delay_gain_optimal": best["delay_gain"],
+        "energy_gain_optimal": best["energy_gain"],
+        "area_gain": area_gain,
+        "edp_gain_optimal": edp_gain_optimal,
+        "edp_gain_single_cnt": edp_gain_single,
+        "edp_gain_best": max(edp_gain_optimal, edp_gain_single),
+        "edap_gain_optimal": edp_gain_optimal * area_gain,
+        "paper_edp_gain": anchors.edp_gain_headline,
+        "paper_edap_gain": anchors.edap_gain_headline,
+        "paper_area_saving": 0.30,
+    }
+
+
+def run_all(fast: bool = True) -> Dict[str, object]:
+    """Run every experiment; with ``fast`` the Monte Carlo trial count is
+    reduced so the whole suite stays interactive."""
+    trials = 50 if fast else 500
+    return {
+        "table1": run_table1(),
+        "fig2_immunity": run_fig2_immunity(trials=trials),
+        "fig3_nand3": run_fig3_nand3(),
+        "fig4_aoi31": run_fig4_aoi31(),
+        "fig7_fo4": run_fig7_fo4(),
+        "pitch_sensitivity": run_pitch_sensitivity(),
+        "fulladder": run_fulladder_case_study(),
+        "edp_summary": run_edp_summary(),
+    }

@@ -1,0 +1,102 @@
+"""Comparison metrics: EDP, EDAP and technology gains.
+
+Section V and the conclusions report composite figures of merit — the
+Energy-Delay Product (EDP) and the Energy-Delay-Area Product (EDAP) — in
+addition to the individual delay/energy/area gains.  The helpers here keep
+those definitions in one place so every benchmark reports them the same
+way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class TechnologyFigures:
+    """Delay / energy / area of one implementation of a circuit."""
+
+    name: str
+    delay_s: float
+    energy_per_cycle_j: float
+    area_lambda2: Optional[float] = None
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product [J·s]."""
+        return self.delay_s * self.energy_per_cycle_j
+
+    @property
+    def edap(self) -> Optional[float]:
+        """Energy-delay-area product [J·s·λ²] (``None`` without an area)."""
+        if self.area_lambda2 is None:
+            return None
+        return self.edp * self.area_lambda2
+
+
+@dataclass(frozen=True)
+class GainReport:
+    """Gains of a CNFET implementation over its CMOS reference."""
+
+    cnfet: TechnologyFigures
+    cmos: TechnologyFigures
+
+    @property
+    def delay_gain(self) -> float:
+        return self.cmos.delay_s / self.cnfet.delay_s
+
+    @property
+    def energy_gain(self) -> float:
+        return self.cmos.energy_per_cycle_j / self.cnfet.energy_per_cycle_j
+
+    @property
+    def area_gain(self) -> Optional[float]:
+        if self.cnfet.area_lambda2 is None or self.cmos.area_lambda2 is None:
+            return None
+        return self.cmos.area_lambda2 / self.cnfet.area_lambda2
+
+    @property
+    def edp_gain(self) -> float:
+        return self.cmos.edp / self.cnfet.edp
+
+    @property
+    def edap_gain(self) -> Optional[float]:
+        cnfet_edap = self.cnfet.edap
+        cmos_edap = self.cmos.edap
+        if cnfet_edap is None or cmos_edap is None or cnfet_edap == 0:
+            return None
+        return cmos_edap / cnfet_edap
+
+    def summary(self) -> str:
+        """One-line-per-metric report."""
+        lines = [
+            f"delay gain : {self.delay_gain:.2f}x "
+            f"({self.cmos.delay_s * 1e12:.1f} ps -> {self.cnfet.delay_s * 1e12:.1f} ps)",
+            f"energy gain: {self.energy_gain:.2f}x "
+            f"({self.cmos.energy_per_cycle_j * 1e15:.2f} fJ -> "
+            f"{self.cnfet.energy_per_cycle_j * 1e15:.2f} fJ)",
+            f"EDP gain   : {self.edp_gain:.2f}x",
+        ]
+        if self.area_gain is not None:
+            lines.insert(2, f"area gain  : {self.area_gain:.2f}x")
+        if self.edap_gain is not None:
+            lines.append(f"EDAP gain  : {self.edap_gain:.2f}x")
+        return "\n".join(lines)
+
+
+def edp(energy_j: float, delay_s: float) -> float:
+    """Energy-delay product."""
+    return energy_j * delay_s
+
+
+def edap(energy_j: float, delay_s: float, area: float) -> float:
+    """Energy-delay-area product."""
+    return energy_j * delay_s * area
+
+
+def gain(reference: float, improved: float) -> float:
+    """``reference / improved`` — how many times better the improved value is."""
+    if improved == 0:
+        return float("inf")
+    return reference / improved

@@ -1,0 +1,38 @@
+"""CNFET standard-cell library: generation, characterisation, Liberty export."""
+
+from .characterize import (
+    LIBRARY_CNT_PITCH_NM,
+    TechnologyConfig,
+    characterize_gate,
+    cmos_technology,
+    cnfet_technology,
+    device_for_width,
+)
+from .liberty import save_liberty, write_liberty
+from .library import (
+    DEFAULT_DRIVE_STRENGTHS,
+    DEFAULT_GATE_SET,
+    LibraryCell,
+    StandardCellLibrary,
+    build_cmos_timing_library,
+    build_library,
+    cell_key,
+)
+
+__all__ = [
+    "LIBRARY_CNT_PITCH_NM",
+    "TechnologyConfig",
+    "characterize_gate",
+    "cmos_technology",
+    "cnfet_technology",
+    "device_for_width",
+    "save_liberty",
+    "write_liberty",
+    "DEFAULT_DRIVE_STRENGTHS",
+    "DEFAULT_GATE_SET",
+    "LibraryCell",
+    "StandardCellLibrary",
+    "build_cmos_timing_library",
+    "build_library",
+    "cell_key",
+]

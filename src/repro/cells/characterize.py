@@ -1,0 +1,180 @@
+"""Standard-cell electrical characterisation.
+
+Turns a sized gate into the RC abstraction used by the gate-level analysis
+(:class:`~repro.circuit.logical_effort.CellTimingModel`), for either
+technology:
+
+* **CNFET cells** instantiate :class:`~repro.devices.cnfet.CNFET` devices;
+  the number of tubes per device follows from the drawn width and the CNT
+  pitch (the library is built at the optimal ~5 nm pitch found in Case
+  study 1, which is how the paper sizes its cells "at their optimal EDP
+  point").
+* **CMOS cells** instantiate 65 nm :class:`~repro.devices.mosfet.MOSFET`
+  devices with the conventional 1.4× pMOS up-sizing.
+
+Drive resistance is the worst of the pull-up and pull-down path
+resistances; input capacitance is per pin; output parasitics sum the drain
+capacitances of devices on the output node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..circuit.logical_effort import CellTimingModel
+from ..devices.calibration import calibrated_cnfet_parameters
+from ..devices.cnfet import CNFET, CNFETParameters
+from ..devices.mosfet import MOSFET, MOSFETParameters, NMOS_65, PMOS_65
+from ..errors import CharacterizationError
+from ..logic.network import GateNetworks, SPLeaf, SPNode, SPParallel, SPSeries
+from ..core.sizing import CellSizing, size_gate
+from ..tech.lambda_rules import LAMBDA_NM_65
+
+#: CNT pitch the standard-cell library is built at (the optimal range found
+#: in Case study 1 is 4.5-5.5 nm).
+LIBRARY_CNT_PITCH_NM = 5.0
+
+
+@dataclass(frozen=True)
+class TechnologyConfig:
+    """Which devices a characterisation run instantiates."""
+
+    name: str                       # "cnfet" | "cmos"
+    vdd: float = 1.0
+    lambda_nm: float = LAMBDA_NM_65
+    cnt_pitch_nm: float = LIBRARY_CNT_PITCH_NM
+    cnfet_parameters: Optional[CNFETParameters] = None
+    nmos_parameters: MOSFETParameters = NMOS_65
+    pmos_parameters: MOSFETParameters = PMOS_65
+    pmos_ratio: float = 1.4
+
+    def __post_init__(self):
+        if self.name not in ("cnfet", "cmos"):
+            raise CharacterizationError(f"Unknown technology {self.name!r}")
+
+
+def cnfet_technology(vdd: float = 1.0,
+                     pitch_nm: float = LIBRARY_CNT_PITCH_NM) -> TechnologyConfig:
+    """The calibrated CNFET platform."""
+    return TechnologyConfig(
+        name="cnfet", vdd=vdd, cnt_pitch_nm=pitch_nm,
+        cnfet_parameters=calibrated_cnfet_parameters(),
+    )
+
+
+def cmos_technology(vdd: float = 1.0) -> TechnologyConfig:
+    """The reference 65 nm CMOS platform."""
+    return TechnologyConfig(name="cmos", vdd=vdd)
+
+
+def device_for_width(width_factor: float, polarity: str,
+                     tech: TechnologyConfig):
+    """Instantiate the device of one transistor given its width as a
+    multiple of the unit (INV1X) device.
+
+    Section IV sizes every cell "with reference to the smallest inverter
+    (INV1X) realizable by the chosen 65 nm technology node", so the
+    electrical unit is the INV1X device of each platform:
+
+    * CNFET: the FO4-calibrated inverter device (gate width
+      ``FO4_GATE_WIDTH_NM`` populated at the optimal pitch); a ``k×`` wider
+      device carries ``k×`` as many tubes.
+    * CMOS: the 200 nm (1.4 × 280 nm for pMOS) minimum inverter device.
+    """
+    from ..devices.calibration import CMOS_NMOS_WIDTH_NM, FO4_GATE_WIDTH_NM
+
+    if width_factor <= 0:
+        raise CharacterizationError("width_factor must be positive")
+    if tech.name == "cnfet":
+        unit_tubes = max(1, int(round(FO4_GATE_WIDTH_NM / tech.cnt_pitch_nm)))
+        tubes = max(1, int(round(width_factor * unit_tubes)))
+        return CNFET(
+            polarity,
+            num_tubes=tubes,
+            gate_width_nm=width_factor * FO4_GATE_WIDTH_NM,
+            pitch_nm=tech.cnt_pitch_nm,
+            parameters=tech.cnfet_parameters or calibrated_cnfet_parameters(),
+        )
+    parameters = tech.nmos_parameters if polarity == "n" else tech.pmos_parameters
+    width_nm = width_factor * CMOS_NMOS_WIDTH_NM
+    if polarity == "p":
+        width_nm *= tech.pmos_ratio
+    return MOSFET(polarity, width_nm, parameters)
+
+
+def _worst_path_resistance(tree: SPNode, width_factors: List[float], polarity: str,
+                           tech: TechnologyConfig) -> float:
+    """Worst-case end-to-end resistance of a sized network."""
+    index = {"value": 0}
+
+    def visit(node: SPNode) -> float:
+        if isinstance(node, SPLeaf):
+            width_factor = width_factors[index["value"]]
+            index["value"] += 1
+            device = device_for_width(width_factor, polarity, tech)
+            return device.effective_resistance(tech.vdd)
+        if isinstance(node, SPSeries):
+            return sum(visit(child) for child in node.children)
+        if isinstance(node, SPParallel):
+            return max(visit(child) for child in node.children)
+        raise CharacterizationError(f"Unsupported SP node {type(node).__name__}")
+
+    return visit(tree)
+
+
+def characterize_gate(
+    gate: GateNetworks,
+    tech: TechnologyConfig,
+    unit_width: float = 4.0,
+    drive_strength: float = 1.0,
+    extra_output_capacitance: float = 0.0,
+) -> CellTimingModel:
+    """Characterise one gate at one drive strength for one technology.
+
+    ``extra_output_capacitance`` lets callers add extracted wiring
+    parasitics from the physical layout.
+    """
+    sizing = size_gate(gate, unit_width, drive_strength)
+
+    # Device widths are produced by the sizing rule in λ; the electrical
+    # models work in multiples of the INV1X unit device.
+    def factor(width_lambda: float) -> float:
+        return width_lambda / unit_width
+
+    # Input capacitance per pin: one PUN device and one PDN device hang off
+    # each input.  Use the average over pins (pins of symmetric gates are
+    # identical; asymmetric gates differ only marginally).
+    input_caps: Dict[str, float] = {name: 0.0 for name in gate.inputs}
+    for transistor in gate.pun.transistors:
+        device = device_for_width(factor(sizing.pun_widths[transistor.name]), "p", tech)
+        input_caps[transistor.gate] += device.gate_capacitance()
+    for transistor in gate.pdn.transistors:
+        device = device_for_width(factor(sizing.pdn_widths[transistor.name]), "n", tech)
+        input_caps[transistor.gate] += device.gate_capacitance()
+    input_capacitance = sum(input_caps.values()) / max(1, len(input_caps))
+
+    pun_factors = [factor(sizing.pun_widths[t.name]) for t in gate.pun.transistors]
+    pdn_factors = [factor(sizing.pdn_widths[t.name]) for t in gate.pdn.transistors]
+    pull_up_resistance = _worst_path_resistance(gate.pun_tree, pun_factors, "p", tech)
+    pull_down_resistance = _worst_path_resistance(gate.pdn_tree, pdn_factors, "n", tech)
+    drive_resistance = max(pull_up_resistance, pull_down_resistance)
+
+    # Output parasitics: drain capacitance of every device whose drain or
+    # source touches the output net.
+    parasitic = extra_output_capacitance
+    for transistor, width_table, polarity in (
+        *((t, sizing.pun_widths, "p") for t in gate.pun.transistors),
+        *((t, sizing.pdn_widths, "n") for t in gate.pdn.transistors),
+    ):
+        if "out" in (transistor.source, transistor.drain):
+            device = device_for_width(factor(width_table[transistor.name]), polarity, tech)
+            parasitic += device.drain_capacitance()
+
+    return CellTimingModel(
+        cell_type=gate.name,
+        drive_strength=drive_strength,
+        input_capacitance=input_capacitance,
+        drive_resistance=drive_resistance,
+        parasitic_capacitance=parasitic,
+    )

@@ -1,0 +1,125 @@
+"""FO4 (fan-out-of-4) delay and switching-energy analysis.
+
+Case study 1 of the paper measures the third stage of a five-stage FO4
+inverter chain at 1 V.  This module provides two ways to obtain the same
+metrics:
+
+* :func:`fo4_metrics` — a fast analytical estimate
+  (``delay = k · C_load · Vdd / I_drive``, ``energy = C_load · Vdd²``)
+  used by the large parameter sweeps of Figure 7; and
+* :func:`fo4_metrics_transient` — a waveform measurement on the actual
+  five-stage chain using :mod:`repro.circuit.simulator`, used to sanity
+  check the analytical model.
+
+Both report the delay of a representative mid-chain stage loaded by four
+copies of itself, which is what "FO4 delay" means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+from .inverter import Inverter
+
+#: Proportionality constant of the analytical delay estimate.  It cancels in
+#: every CNFET/CMOS ratio the paper reports; the absolute value is chosen so
+#: the reference CMOS inverter lands in the usual ~20-25 ps FO4 range.
+DELAY_FIT_CONSTANT = 0.69
+
+
+@dataclass(frozen=True)
+class FO4Metrics:
+    """FO4 figures of one inverter flavour."""
+
+    delay_s: float
+    energy_per_cycle_j: float
+    load_capacitance_f: float
+    drive_current_a: float
+    supply_voltage: float
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product [J·s]."""
+        return self.delay_s * self.energy_per_cycle_j
+
+
+def fo4_load_capacitance(inverter: Inverter, fanout: int = 4) -> float:
+    """Capacitance switched by one FO4 stage: its own drain parasitics plus
+    ``fanout`` copies of its input capacitance."""
+    return inverter.output_capacitance() + fanout * inverter.input_capacitance()
+
+
+def fo4_metrics(inverter: Inverter, vdd: float = 1.0, fanout: int = 4) -> FO4Metrics:
+    """Analytical FO4 delay and switching energy per cycle."""
+    if vdd <= 0:
+        raise SimulationError("vdd must be positive")
+    load = fo4_load_capacitance(inverter, fanout)
+    drive = inverter.drive_current(vdd)
+    if drive <= 0:
+        raise SimulationError(f"Inverter {inverter.name!r} has no drive at {vdd} V")
+    delay = DELAY_FIT_CONSTANT * load * vdd / drive
+    # One full cycle charges and discharges the load once: E = C V^2.
+    energy = load * vdd * vdd
+    return FO4Metrics(
+        delay_s=delay,
+        energy_per_cycle_j=energy,
+        load_capacitance_f=load,
+        drive_current_a=drive,
+        supply_voltage=vdd,
+    )
+
+
+@dataclass(frozen=True)
+class FO4Comparison:
+    """CNFET-vs-CMOS gains for one configuration (paper Figure 7 points)."""
+
+    cnfet: FO4Metrics
+    cmos: FO4Metrics
+
+    @property
+    def delay_gain(self) -> float:
+        """How many times faster the CNFET inverter is."""
+        return self.cmos.delay_s / self.cnfet.delay_s
+
+    @property
+    def energy_gain(self) -> float:
+        """How many times less energy per cycle the CNFET inverter uses."""
+        return self.cmos.energy_per_cycle_j / self.cnfet.energy_per_cycle_j
+
+    @property
+    def edp_gain(self) -> float:
+        """Energy-delay-product improvement."""
+        return self.cmos.edp / self.cnfet.edp
+
+
+def compare_fo4(cnfet_inverter: Inverter, cmos_inverter: Inverter,
+                vdd: float = 1.0) -> FO4Comparison:
+    """Run the analytical FO4 analysis for both flavours at the same supply."""
+    return FO4Comparison(
+        cnfet=fo4_metrics(cnfet_inverter, vdd),
+        cmos=fo4_metrics(cmos_inverter, vdd),
+    )
+
+
+def fo4_metrics_transient(inverter: Inverter, vdd: float = 1.0,
+                          stages: int = 5, fanout: int = 4) -> FO4Metrics:
+    """FO4 metrics measured on a transient simulation of the inverter chain.
+
+    Builds the paper's five-stage chain where every stage drives ``fanout``
+    copies of itself (the extra copies are modelled as load capacitance),
+    applies a full-swing step and measures the 50 %-to-50 % propagation
+    delay of the middle stage and the total switched charge per cycle.
+    """
+    from .simulator import simulate_inverter_chain  # local import to avoid cycle
+
+    if stages < 3:
+        raise SimulationError("The FO4 chain needs at least 3 stages")
+    result = simulate_inverter_chain(inverter, vdd=vdd, stages=stages, fanout=fanout)
+    return FO4Metrics(
+        delay_s=result.mid_stage_delay_s,
+        energy_per_cycle_j=result.energy_per_cycle_j,
+        load_capacitance_f=fo4_load_capacitance(inverter, fanout),
+        drive_current_a=inverter.drive_current(vdd),
+        supply_voltage=vdd,
+    )

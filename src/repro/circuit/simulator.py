@@ -1,0 +1,302 @@
+"""Transient simulation of transistor-level netlists.
+
+The paper's electrical results come from HSPICE; this module provides the
+offline equivalent: a small nodal transient solver over the CNFET/MOSFET
+compact models.  Every internal net carries a lumped capacitance (device
+loading plus any explicit capacitors); device currents charge and discharge
+those capacitances.  Integration is explicit with adaptive sub-stepping,
+which is robust for the gate-sized circuits the experiments need (inverter
+chains, a full adder) and keeps the implementation dependency-free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+from .inverter import Inverter
+from .netlist import GND, VDD, TransistorNetlist
+
+#: Floor applied to node capacitances so the explicit integrator stays stable
+#: even on nets with negligible extracted capacitance [F].
+MINIMUM_NODE_CAPACITANCE = 1.0e-18
+
+
+@dataclass
+class PiecewiseLinearSource:
+    """A piecewise-linear voltage source (SPICE ``PWL`` equivalent)."""
+
+    points: Sequence[Tuple[float, float]]
+
+    def __post_init__(self):
+        if not self.points:
+            raise SimulationError("A PWL source needs at least one point")
+        times = [t for t, _ in self.points]
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise SimulationError("PWL time points must be non-decreasing")
+
+    def value(self, time: float) -> float:
+        points = list(self.points)
+        if time <= points[0][0]:
+            return points[0][1]
+        for (t0, v0), (t1, v1) in zip(points, points[1:]):
+            if time <= t1:
+                if t1 == t0:
+                    return v1
+                return v0 + (v1 - v0) * (time - t0) / (t1 - t0)
+        return points[-1][1]
+
+
+def step_source(vdd: float, delay: float, rise_time: float,
+                falling: bool = False) -> PiecewiseLinearSource:
+    """A single rising (or falling) edge."""
+    low, high = (vdd, 0.0) if falling else (0.0, vdd)
+    return PiecewiseLinearSource([(0.0, low), (delay, low), (delay + rise_time, high)])
+
+
+def pulse_source(vdd: float, delay: float, rise_time: float, width: float) -> PiecewiseLinearSource:
+    """A single full pulse (rise, hold, fall)."""
+    return PiecewiseLinearSource(
+        [
+            (0.0, 0.0),
+            (delay, 0.0),
+            (delay + rise_time, vdd),
+            (delay + rise_time + width, vdd),
+            (delay + 2 * rise_time + width, 0.0),
+        ]
+    )
+
+
+@dataclass
+class TransientResult:
+    """Waveforms of a transient run."""
+
+    time: np.ndarray
+    waveforms: Dict[str, np.ndarray]
+    supply_charge: float      # total charge delivered by Vdd [C]
+    vdd: float
+
+    def voltage(self, net: str) -> np.ndarray:
+        try:
+            return self.waveforms[net]
+        except KeyError:
+            raise SimulationError(
+                f"No waveform recorded for net {net!r}; available: "
+                f"{sorted(self.waveforms)}"
+            ) from None
+
+    def crossing_time(self, net: str, level: float, rising: Optional[bool] = None,
+                      after: float = 0.0) -> float:
+        """First time the net crosses ``level`` (optionally in a specific
+        direction) after ``after``."""
+        voltages = self.voltage(net)
+        times = self.time
+        for index in range(1, len(times)):
+            if times[index] < after:
+                continue
+            previous, current = voltages[index - 1], voltages[index]
+            crossed_up = previous < level <= current
+            crossed_down = previous > level >= current
+            if rising is True and not crossed_up:
+                continue
+            if rising is False and not crossed_down:
+                continue
+            if crossed_up or crossed_down:
+                if current == previous:
+                    return times[index]
+                fraction = (level - previous) / (current - previous)
+                return times[index - 1] + fraction * (times[index] - times[index - 1])
+        raise SimulationError(f"Net {net!r} never crosses {level} V after {after}")
+
+    def propagation_delay(self, input_net: str, output_net: str,
+                          vdd: Optional[float] = None) -> float:
+        """50 %-to-50 % propagation delay between two nets."""
+        vdd = self.vdd if vdd is None else vdd
+        level = vdd / 2.0
+        t_in = self.crossing_time(input_net, level)
+        t_out = self.crossing_time(output_net, level, after=t_in)
+        return t_out - t_in
+
+    @property
+    def supply_energy(self) -> float:
+        """Energy drawn from the supply during the run [J]."""
+        return self.supply_charge * self.vdd
+
+
+class TransientSimulator:
+    """Explicit nodal transient solver for a :class:`TransistorNetlist`."""
+
+    def __init__(self, netlist: TransistorNetlist,
+                 sources: Mapping[str, PiecewiseLinearSource],
+                 initial_conditions: Optional[Mapping[str, float]] = None):
+        self.netlist = netlist
+        self.sources = dict(sources)
+        missing = [net for net in netlist.inputs if net not in self.sources]
+        if missing:
+            raise SimulationError(f"No source provided for input nets {missing}")
+        self.initial_conditions = dict(initial_conditions or {})
+
+    def run(self, stop_time: float, time_step: float) -> TransientResult:
+        """Integrate from 0 to ``stop_time`` with output samples every
+        ``time_step`` (internally sub-stepped for stability)."""
+        if stop_time <= 0 or time_step <= 0:
+            raise SimulationError("stop_time and time_step must be positive")
+        netlist = self.netlist
+        vdd = netlist.vdd
+        internal = [
+            net for net in netlist.nets()
+            if net not in (VDD, GND) and net not in self.sources
+        ]
+        capacitance = {
+            net: max(netlist.node_capacitance(net), MINIMUM_NODE_CAPACITANCE)
+            for net in internal
+        }
+        voltages: Dict[str, float] = {VDD: vdd, GND: 0.0}
+        for net in internal:
+            voltages[net] = self.initial_conditions.get(net, 0.0)
+        for net, source in self.sources.items():
+            voltages[net] = source.value(0.0)
+
+        sample_count = int(math.ceil(stop_time / time_step)) + 1
+        times = np.linspace(0.0, stop_time, sample_count)
+        waveforms = {net: np.zeros(sample_count) for net in voltages}
+        supply_charge = 0.0
+
+        # Sub-step limit: a few hundred sub-steps per output sample keeps the
+        # explicit integration stable for the RC time constants of these
+        # gate-sized circuits without making long runs unaffordable.
+        substep = min(time_step, max(2.0e-15, stop_time / 40000.0))
+
+        for sample_index, sample_time in enumerate(times):
+            for net, value in voltages.items():
+                waveforms[net][sample_index] = value
+            if sample_index == len(times) - 1:
+                break
+            segment_end = times[sample_index + 1]
+            time = sample_time
+            while time < segment_end - 1e-21:
+                dt = min(substep, segment_end - time)
+                for net, source in self.sources.items():
+                    voltages[net] = source.value(time)
+                currents = {net: 0.0 for net in internal}
+                for transistor in netlist.transistors:
+                    drain_v = voltages[transistor.drain]
+                    source_v = voltages[transistor.source]
+                    gate_v = voltages[transistor.gate]
+                    current = self._channel_current(
+                        transistor, gate_v, drain_v, source_v
+                    )
+                    # ``current`` flows from the higher-potential terminal to
+                    # the lower one through the channel.
+                    if transistor.drain in currents:
+                        currents[transistor.drain] -= current[0]
+                    if transistor.source in currents:
+                        currents[transistor.source] -= current[1]
+                    if transistor.drain == VDD or transistor.source == VDD:
+                        supply_charge += max(0.0, current[0] if transistor.drain == VDD else current[1]) * dt
+                for net in internal:
+                    voltages[net] += currents[net] * dt / capacitance[net]
+                    voltages[net] = min(max(voltages[net], -0.1 * vdd), 1.1 * vdd)
+                time += dt
+        return TransientResult(times, waveforms, supply_charge, vdd)
+
+    @staticmethod
+    def _channel_current(transistor, gate_v: float, drain_v: float,
+                         source_v: float) -> Tuple[float, float]:
+        """Return (current out of drain, current out of source).
+
+        The compact models report a magnitude for a given (vgs, vds); the
+        sign convention here is that current flows through the channel from
+        the higher-potential terminal to the lower-potential one.
+        """
+        device = transistor.device
+        if device.polarity == "n":
+            if drain_v >= source_v:
+                magnitude = device.ids(gate_v - source_v, drain_v - source_v)
+                return (+magnitude, -magnitude)
+            magnitude = device.ids(gate_v - drain_v, source_v - drain_v)
+            return (-magnitude, +magnitude)
+        # p-type: conducts when the gate is low relative to source
+        if drain_v <= source_v:
+            magnitude = device.ids(gate_v - source_v, drain_v - source_v)
+            return (-magnitude, +magnitude)
+        magnitude = device.ids(gate_v - drain_v, source_v - drain_v)
+        return (+magnitude, -magnitude)
+
+
+# ---------------------------------------------------------------------------
+# Inverter-chain convenience used by the FO4 experiment
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class InverterChainResult:
+    """Measurements from a simulated FO4 inverter chain."""
+
+    mid_stage_delay_s: float
+    energy_per_cycle_j: float
+    result: TransientResult
+
+
+def build_inverter_chain(inverter: Inverter, stages: int, fanout: int,
+                         vdd: float) -> TransistorNetlist:
+    """A chain of identical inverters where each stage additionally drives
+    ``fanout - 1`` copies of its own input capacitance (so the loading seen
+    by every stage is FO-``fanout``)."""
+    netlist = TransistorNetlist(f"fo{fanout}_chain", vdd=vdd)
+    extra_load = (fanout - 1) * inverter.input_capacitance()
+    previous_net = "in"
+    for stage in range(stages):
+        out_net = f"n{stage + 1}"
+        netlist.add_transistor(
+            f"MN{stage}", inverter.pull_down, gate=previous_net,
+            drain=out_net, source=GND,
+        )
+        netlist.add_transistor(
+            f"MP{stage}", inverter.pull_up, gate=previous_net,
+            drain=out_net, source=VDD,
+        )
+        if extra_load > 0:
+            netlist.add_capacitor(f"CL{stage}", out_net, extra_load)
+        previous_net = out_net
+    netlist.declare_io(["in"], [previous_net])
+    return netlist
+
+
+def simulate_inverter_chain(inverter: Inverter, vdd: float = 1.0, stages: int = 5,
+                            fanout: int = 4) -> InverterChainResult:
+    """Simulate the paper's five-stage FO4 chain and measure the mid stage.
+
+    The measured stage is stage 3 (index 2), exactly as in Case study 1.
+    Energy per cycle is the supply energy of one full input pulse divided by
+    the number of switching stages, attributed to the measured stage's load.
+    """
+    netlist = build_inverter_chain(inverter, stages, fanout, vdd)
+    # Time scale: size the run from the analytical FO4 estimate.
+    from .fo4 import fo4_metrics  # local import to avoid a module cycle
+
+    estimate = fo4_metrics(inverter, vdd, fanout).delay_s
+    edge = max(estimate * 0.1, 1.0e-13)
+    settle = estimate * (stages + 6)
+    source = pulse_source(vdd, delay=2 * estimate, rise_time=edge, width=settle)
+    # Odd stages invert: precondition internal nodes to their DC values for
+    # a low input.
+    initial = {}
+    for stage in range(stages):
+        initial[f"n{stage + 1}"] = vdd if stage % 2 == 0 else 0.0
+    simulator = TransientSimulator(netlist, {"in": source}, initial_conditions=initial)
+    stop = 2 * estimate + 2 * settle
+    result = simulator.run(stop_time=stop, time_step=max(estimate / 50.0, 1.0e-14))
+
+    measured_input = "n2"
+    measured_output = "n3"
+    delay = result.propagation_delay(measured_input, measured_output)
+    energy = result.supply_energy / stages
+    return InverterChainResult(
+        mid_stage_delay_s=delay,
+        energy_per_cycle_j=energy,
+        result=result,
+    )

@@ -1,0 +1,112 @@
+"""Exception hierarchy for the CNFET layout reproduction library.
+
+All library-specific exceptions derive from :class:`ReproError` so that
+callers can catch a single base class.  Each subsystem raises the most
+specific subclass that applies; messages carry enough context (cell name,
+rule name, node name, ...) to be actionable without a debugger.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class UnitError(ReproError):
+    """Raised when a quantity is used with an incompatible or unknown unit."""
+
+
+class TechnologyError(ReproError):
+    """Raised for invalid or inconsistent technology definitions."""
+
+
+class DesignRuleError(TechnologyError):
+    """Raised when a design-rule set is malformed (not for DRC violations)."""
+
+
+class DRCViolationError(ReproError):
+    """Raised when a layout fails design-rule checking and the caller asked
+    for violations to be fatal."""
+
+    def __init__(self, violations):
+        self.violations = list(violations)
+        summary = "; ".join(str(v) for v in self.violations[:5])
+        more = len(self.violations) - 5
+        if more > 0:
+            summary += f"; ... ({more} more)"
+        super().__init__(f"{len(self.violations)} DRC violation(s): {summary}")
+
+
+class GeometryError(ReproError):
+    """Raised for invalid geometric constructions (degenerate rectangles,
+    non-manhattan polygons where manhattan geometry is required, ...)."""
+
+
+class GDSError(ReproError):
+    """Raised when GDSII serialisation cannot represent the layout."""
+
+
+class LogicError(ReproError):
+    """Raised for malformed Boolean expressions or unsupported logic forms."""
+
+
+class ExpressionParseError(LogicError):
+    """Raised by the Boolean expression parser on invalid syntax."""
+
+    def __init__(self, message, text=None, position=None):
+        self.text = text
+        self.position = position
+        if text is not None and position is not None:
+            pointer = " " * position + "^"
+            message = f"{message}\n  {text}\n  {pointer}"
+        super().__init__(message)
+
+
+class NetworkError(LogicError):
+    """Raised when a transistor network cannot be built or is inconsistent."""
+
+
+class EulerPathError(ReproError):
+    """Raised when no Euler path exists or path construction fails."""
+
+
+class DeviceModelError(ReproError):
+    """Raised for invalid device-model parameters or operating points."""
+
+
+class LayoutGenerationError(ReproError):
+    """Raised when a cell layout cannot be generated from its specification."""
+
+
+class ImmunityAnalysisError(ReproError):
+    """Raised by the mispositioned-CNT immunity analysis."""
+
+
+class NetlistError(ReproError):
+    """Raised for malformed circuit netlists."""
+
+
+class SimulationError(ReproError):
+    """Raised when a circuit simulation fails to converge or is ill-posed."""
+
+
+class CharacterizationError(ReproError):
+    """Raised when a standard cell cannot be characterised."""
+
+
+class LibraryError(ReproError):
+    """Raised for standard-cell library inconsistencies (duplicate cells,
+    missing drive strengths, unknown cell references)."""
+
+
+class FlowError(ReproError):
+    """Raised by the logic-to-GDSII flow (parsing, mapping, placement)."""
+
+
+class MappingError(FlowError):
+    """Raised when a netlist gate cannot be mapped onto the cell library."""
+
+
+class PlacementError(FlowError):
+    """Raised when placement constraints cannot be satisfied."""

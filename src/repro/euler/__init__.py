@@ -1,0 +1,17 @@
+"""Euler-path engine used by the compact layout generator."""
+
+from .path import (
+    LinearizedNetwork,
+    Trail,
+    euler_path_for_network,
+    euler_trails,
+    has_euler_path,
+)
+
+__all__ = [
+    "LinearizedNetwork",
+    "Trail",
+    "euler_path_for_network",
+    "euler_trails",
+    "has_euler_path",
+]

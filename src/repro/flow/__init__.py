@@ -1,0 +1,28 @@
+"""Logic-to-GDSII flow: parsing, mapping, placement, design-kit facade."""
+
+from .designkit import CNFETDesignKit, FlowReport, FlowResult
+from .placement import (
+    PlacedCell,
+    PlacementResult,
+    place_cmos_reference,
+    place_scheme1,
+    place_scheme2,
+    placement_layout,
+)
+from .techmap import MappedDesign, MappedGate, check_library_coverage, map_netlist
+from .verilog import (
+    full_adder_netlist,
+    full_adder_verilog,
+    parse_structural_verilog,
+    ripple_carry_adder_netlist,
+    split_cell_name,
+)
+
+__all__ = [
+    "CNFETDesignKit", "FlowReport", "FlowResult",
+    "PlacedCell", "PlacementResult", "place_cmos_reference",
+    "place_scheme1", "place_scheme2", "placement_layout",
+    "MappedDesign", "MappedGate", "check_library_coverage", "map_netlist",
+    "full_adder_netlist", "full_adder_verilog", "parse_structural_verilog",
+    "ripple_carry_adder_netlist", "split_cell_name",
+]

@@ -1,0 +1,193 @@
+"""Structural netlist input: a small Verilog subset parser and benchmark
+netlist builders.
+
+The design kit's front end (Figure 5) receives a synthesised gate-level
+netlist.  Two entry points are offered:
+
+* :func:`parse_structural_verilog` — a parser for the structural Verilog
+  subset synthesis tools emit: one module, ``input``/``output``/``wire``
+  declarations and named-port gate instantiations of library cells
+  (``NAND2_2X g1 (.A(a), .B(b), .out(n1));``).  Drive strength is taken
+  from the ``_<n>X`` suffix of the cell name.
+* builders for the circuits used in the paper's case studies: the NAND2 +
+  inverter full adder of Figure 8 and a ripple-carry adder built from it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuit.netlist import GateNetlist
+from ..errors import FlowError
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_$]*"
+_MODULE_RE = re.compile(rf"module\s+({_IDENT})\s*\((.*?)\)\s*;", re.S)
+_DECL_RE = re.compile(rf"(input|output|wire)\s+(.*?);", re.S)
+_INSTANCE_RE = re.compile(
+    rf"({_IDENT})\s+({_IDENT})\s*\((.*?)\)\s*;", re.S
+)
+_PORT_RE = re.compile(rf"\.({_IDENT})\s*\(\s*({_IDENT})\s*\)")
+_DRIVE_RE = re.compile(r"^(?P<base>.+?)_(?P<drive>\d+(?:\.\d+)?)X$", re.IGNORECASE)
+
+_KEYWORDS = {"module", "endmodule", "input", "output", "wire"}
+
+
+def split_cell_name(cell_name: str) -> Tuple[str, float]:
+    """Split ``NAND2_4X`` into ``("NAND2", 4.0)``; plain names get drive 1."""
+    match = _DRIVE_RE.match(cell_name)
+    if match:
+        return match.group("base").upper(), float(match.group("drive"))
+    return cell_name.upper(), 1.0
+
+
+def parse_structural_verilog(text: str) -> GateNetlist:
+    """Parse one structural Verilog module into a :class:`GateNetlist`."""
+    stripped = _strip_comments(text)
+    module_match = _MODULE_RE.search(stripped)
+    if not module_match:
+        raise FlowError("No module declaration found in the Verilog source")
+    module_name = module_match.group(1)
+    netlist = GateNetlist(module_name)
+
+    body = stripped[module_match.end():]
+    end_index = body.find("endmodule")
+    if end_index < 0:
+        raise FlowError(f"Module {module_name!r} has no endmodule")
+    body = body[:end_index]
+
+    inputs: List[str] = []
+    outputs: List[str] = []
+    for kind, names in _DECL_RE.findall(body):
+        signals = [name.strip() for name in names.replace("\n", " ").split(",") if name.strip()]
+        if kind == "input":
+            inputs.extend(signals)
+        elif kind == "output":
+            outputs.extend(signals)
+
+    declaration_spans = [m.span() for m in _DECL_RE.finditer(body)]
+
+    for match in _INSTANCE_RE.finditer(body):
+        if any(start <= match.start() < end for start, end in declaration_spans):
+            continue
+        cell_name, instance_name, ports = match.group(1), match.group(2), match.group(3)
+        if cell_name in _KEYWORDS:
+            continue
+        connections = {pin: net for pin, net in _PORT_RE.findall(ports)}
+        if not connections:
+            raise FlowError(
+                f"Instance {instance_name!r} of {cell_name!r} uses positional ports; "
+                "only named ports (.pin(net)) are supported"
+            )
+        base, drive = split_cell_name(cell_name)
+        netlist.add_gate(instance_name, base, connections, drive_strength=drive)
+
+    netlist.declare_io(inputs, outputs)
+    netlist.validate()
+    return netlist
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"//.*", "", text)
+    return re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+
+
+# ---------------------------------------------------------------------------
+# Benchmark netlist builders
+# ---------------------------------------------------------------------------
+
+def full_adder_netlist(
+    name: str = "full_adder",
+    internal_drive: float = 2.0,
+    output_drive: float = 4.0,
+    buffer_outputs: bool = True,
+    buffer_drive: float = 9.0,
+    suffix: str = "",
+) -> GateNetlist:
+    """The NAND2 + inverter full adder of Figure 8(a).
+
+    Nine NAND2 gates compute sum and carry; optional output inverter pairs
+    (``4X`` + ``9X`` by default) model the drive-strength mix the figure
+    shows.  ``suffix`` namespaces nets/instances so several adders can be
+    stitched into a ripple-carry chain.
+    """
+    netlist = GateNetlist(name)
+    a, b, cin = f"a{suffix}", f"b{suffix}", f"cin{suffix}"
+    sum_net, carry_net = f"sum{suffix}", f"carry{suffix}"
+
+    def net(local: str) -> str:
+        return f"{local}{suffix}"
+
+    nand = "NAND2"
+    netlist.add_gate(f"g1{suffix}", nand, {"A": a, "B": b, "out": net("n1")}, internal_drive)
+    netlist.add_gate(f"g2{suffix}", nand, {"A": a, "B": net("n1"), "out": net("n2")}, internal_drive)
+    netlist.add_gate(f"g3{suffix}", nand, {"A": b, "B": net("n1"), "out": net("n3")}, internal_drive)
+    netlist.add_gate(f"g4{suffix}", nand, {"A": net("n2"), "B": net("n3"), "out": net("n4")}, internal_drive)
+    netlist.add_gate(f"g5{suffix}", nand, {"A": net("n4"), "B": cin, "out": net("n5")}, internal_drive)
+    netlist.add_gate(f"g6{suffix}", nand, {"A": net("n4"), "B": net("n5"), "out": net("n6")}, internal_drive)
+    netlist.add_gate(f"g7{suffix}", nand, {"A": cin, "B": net("n5"), "out": net("n7")}, internal_drive)
+
+    if buffer_outputs:
+        netlist.add_gate(f"g8{suffix}", nand, {"A": net("n6"), "B": net("n7"), "out": net("s0")}, output_drive)
+        netlist.add_gate(f"g9{suffix}", nand, {"A": net("n5"), "B": net("n1"), "out": net("c0")}, output_drive)
+        netlist.add_gate(f"ginv_s1{suffix}", "INV", {"A": net("s0"), "out": net("s1")}, output_drive)
+        netlist.add_gate(f"ginv_s2{suffix}", "INV", {"A": net("s1"), "out": sum_net}, buffer_drive)
+        netlist.add_gate(f"ginv_c1{suffix}", "INV", {"A": net("c0"), "out": net("c1")}, output_drive)
+        netlist.add_gate(f"ginv_c2{suffix}", "INV", {"A": net("c1"), "out": carry_net}, buffer_drive)
+    else:
+        netlist.add_gate(f"g8{suffix}", nand, {"A": net("n6"), "B": net("n7"), "out": sum_net}, output_drive)
+        netlist.add_gate(f"g9{suffix}", nand, {"A": net("n5"), "B": net("n1"), "out": carry_net}, output_drive)
+
+    netlist.declare_io([a, b, cin], [sum_net, carry_net])
+    netlist.validate()
+    return netlist
+
+
+def ripple_carry_adder_netlist(bits: int = 4, name: Optional[str] = None) -> GateNetlist:
+    """A ripple-carry adder built by chaining full adders (used as a larger
+    flow example beyond the paper's single-bit case study)."""
+    if bits < 1:
+        raise FlowError("A ripple-carry adder needs at least one bit")
+    name = name or f"rca{bits}"
+    netlist = GateNetlist(name)
+    inputs: List[str] = []
+    outputs: List[str] = []
+    carry_in = "cin"
+    inputs.append(carry_in)
+    for bit in range(bits):
+        stage = full_adder_netlist(suffix=f"_b{bit}", buffer_outputs=False)
+        rename = {
+            f"a_b{bit}": f"a{bit}",
+            f"b_b{bit}": f"b{bit}",
+            f"cin_b{bit}": carry_in,
+            f"sum_b{bit}": f"sum{bit}",
+            f"carry_b{bit}": f"carry{bit}",
+        }
+        for gate in stage.gates:
+            connections = {
+                pin: rename.get(net, net) for pin, net in gate.connections.items()
+            }
+            netlist.add_gate(gate.name, gate.cell_type, connections, gate.drive_strength)
+        inputs.extend([f"a{bit}", f"b{bit}"])
+        outputs.append(f"sum{bit}")
+        carry_in = f"carry{bit}"
+    outputs.append(carry_in)
+    netlist.declare_io(inputs, outputs)
+    netlist.validate()
+    return netlist
+
+
+def full_adder_verilog(name: str = "full_adder") -> str:
+    """Structural Verilog text of the Figure 8 full adder (round-trips
+    through :func:`parse_structural_verilog`)."""
+    netlist = full_adder_netlist(name=name)
+    lines = [f"module {name} (a, b, cin, sum, carry);"]
+    lines.append("  input a, b, cin;")
+    lines.append("  output sum, carry;")
+    wires = [n for n in netlist.nets() if n not in netlist.inputs + netlist.outputs]
+    lines.append(f"  wire {', '.join(sorted(wires))};")
+    for gate in netlist.gates:
+        ports = ", ".join(f".{pin}({net})" for pin, net in gate.connections.items())
+        lines.append(f"  {gate.cell_type}_{gate.drive_strength:g}X {gate.name} ({ports});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,25 @@
+"""Geometric substrate: primitives, transforms, layout database and GDSII."""
+
+from .gds import GDSStructureSummary, GDSWriter, GDSWriterOptions, read_gds_summary
+from .layout import Instance, Label, Layout, LayoutCell, Pin
+from .primitives import Point, Polygon, Rect, bounding_box, total_area
+from .transform import Orientation, Transform
+
+__all__ = [
+    "GDSStructureSummary",
+    "GDSWriter",
+    "GDSWriterOptions",
+    "read_gds_summary",
+    "Instance",
+    "Label",
+    "Layout",
+    "LayoutCell",
+    "Pin",
+    "Point",
+    "Polygon",
+    "Rect",
+    "bounding_box",
+    "total_area",
+    "Orientation",
+    "Transform",
+]

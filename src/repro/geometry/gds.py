@@ -1,0 +1,311 @@
+"""Self-contained GDSII stream writer (and a minimal reader for round-trips).
+
+The paper's design kit ends at GDSII; since no external layout library is
+available offline, this module implements the small subset of the GDSII
+binary format a standard-cell flow needs: BOUNDARY elements for rectangles,
+SREF elements for cell instances and TEXT elements for labels.
+
+Only orthogonal orientations are emitted (``STRANS`` reflection bit plus an
+``ANGLE`` of 0/90/180/270 degrees), matching
+:class:`repro.geometry.transform.Orientation`.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import GDSError
+from ..tech.layers import LayerStack
+from .layout import Layout, LayoutCell
+from .primitives import Point, Rect
+from .transform import Orientation
+
+# GDSII record types (subset)
+_HEADER = 0x0002
+_BGNLIB = 0x0102
+_LIBNAME = 0x0206
+_UNITS = 0x0305
+_ENDLIB = 0x0400
+_BGNSTR = 0x0502
+_STRNAME = 0x0606
+_ENDSTR = 0x0700
+_BOUNDARY = 0x0800
+_SREF = 0x0A00
+_TEXT = 0x0C00
+_LAYER = 0x0D02
+_DATATYPE = 0x0E02
+_XY = 0x1003
+_ENDEL = 0x1100
+_SNAME = 0x1206
+_TEXTTYPE = 0x1602
+_STRING = 0x1906
+_STRANS = 0x1A01
+_ANGLE = 0x1C05
+
+#: A fixed timestamp (the GDSII format requires one; content-addressable
+#: output is more useful for tests than wall-clock times).
+_FIXED_TIMESTAMP = (2009, 4, 20, 12, 0, 0)
+
+_ORIENTATION_TO_GDS: Dict[Orientation, Tuple[bool, float]] = {
+    Orientation.R0: (False, 0.0),
+    Orientation.R90: (False, 90.0),
+    Orientation.R180: (False, 180.0),
+    Orientation.R270: (False, 270.0),
+    Orientation.MX: (True, 0.0),
+    Orientation.MY: (True, 180.0),
+    Orientation.MXR90: (True, 90.0),
+    Orientation.MYR90: (True, 270.0),
+}
+
+
+def _record(record_type: int, payload: bytes = b"") -> bytes:
+    length = len(payload) + 4
+    if length % 2:
+        raise GDSError("GDSII record payload must have even length")
+    return struct.pack(">HH", length, record_type) + payload
+
+
+def _ascii_record(record_type: int, text: str) -> bytes:
+    data = text.encode("ascii", errors="replace")
+    if len(data) % 2:
+        data += b"\x00"
+    return _record(record_type, data)
+
+
+def _int2_record(record_type: int, *values: int) -> bytes:
+    return _record(record_type, struct.pack(f">{len(values)}h", *values))
+
+
+def _int4_record(record_type: int, *values: int) -> bytes:
+    return _record(record_type, struct.pack(f">{len(values)}i", *values))
+
+
+def _real8(value: float) -> bytes:
+    """Encode a float as an 8-byte GDSII excess-64 real."""
+    if value == 0.0:
+        return b"\x00" * 8
+    sign = 0
+    if value < 0:
+        sign = 0x80
+        value = -value
+    exponent = 64
+    while value >= 1.0:
+        value /= 16.0
+        exponent += 1
+    while value < 1.0 / 16.0:
+        value *= 16.0
+        exponent -= 1
+    mantissa = int(value * (1 << 56))
+    return struct.pack(">B", sign | exponent) + mantissa.to_bytes(7, "big")
+
+
+def _real8_record(record_type: int, *values: float) -> bytes:
+    return _record(record_type, b"".join(_real8(v) for v in values))
+
+
+@dataclass
+class GDSWriterOptions:
+    """Options controlling GDSII stream-out.
+
+    ``unit_nm`` is the physical size of one layout coordinate unit; layout
+    generators work in λ so the default converts through the rule set's
+    λ-to-nm factor supplied by the caller.  ``database_unit_m`` is the GDSII
+    database unit (1 nm by default).
+    """
+
+    unit_nm: float = 1.0
+    database_unit_m: float = 1e-9
+    default_layer: int = 100
+    default_datatype: int = 0
+
+
+class GDSWriter:
+    """Serialise a :class:`~repro.geometry.layout.Layout` to a GDSII file."""
+
+    def __init__(self, layer_stack: Optional[LayerStack] = None,
+                 options: Optional[GDSWriterOptions] = None):
+        self.layer_stack = layer_stack
+        self.options = options or GDSWriterOptions()
+
+    # -- public API -----------------------------------------------------------
+
+    def write(self, layout: Layout, path: str) -> str:
+        """Write ``layout`` to ``path`` and return the path."""
+        data = self.to_bytes(layout)
+        with open(path, "wb") as stream:
+            stream.write(data)
+        return path
+
+    def to_bytes(self, layout: Layout) -> bytes:
+        """Serialise ``layout`` to GDSII bytes."""
+        if not layout.cells():
+            raise GDSError(f"Layout {layout.name!r} has no cells to stream out")
+        chunks: List[bytes] = []
+        chunks.append(_int2_record(_HEADER, 600))
+        chunks.append(_int2_record(_BGNLIB, *(_FIXED_TIMESTAMP * 2)))
+        chunks.append(_ascii_record(_LIBNAME, layout.name.upper()[:32] or "LIB"))
+        user_unit = self.options.database_unit_m / 1e-6  # db units per user unit
+        chunks.append(_real8_record(_UNITS, user_unit, self.options.database_unit_m))
+        for cell in self._cells_bottom_up(layout):
+            chunks.append(self._structure(cell))
+        chunks.append(_record(_ENDLIB))
+        return b"".join(chunks)
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _cells_bottom_up(self, layout: Layout) -> List[LayoutCell]:
+        """Cells ordered so that referenced cells appear before referencing
+        ones (GDSII readers tolerate any order, but this is tidier)."""
+        ordered: List[LayoutCell] = []
+        visited: Dict[str, bool] = {}
+
+        def visit(cell: LayoutCell) -> None:
+            if visited.get(cell.name):
+                return
+            visited[cell.name] = True
+            for instance in cell.instances:
+                if instance.cell_name in layout:
+                    visit(layout.cell(instance.cell_name))
+            ordered.append(cell)
+
+        for cell in layout.cells():
+            visit(cell)
+        return ordered
+
+    def _layer_numbers(self, layer_name: str) -> Tuple[int, int]:
+        if self.layer_stack is not None and layer_name in self.layer_stack:
+            layer = self.layer_stack[layer_name]
+            return layer.gds_layer, layer.gds_datatype
+        return self.options.default_layer, self.options.default_datatype
+
+    def _to_db(self, value: float) -> int:
+        nm = value * self.options.unit_nm
+        return int(round(nm * 1e-9 / self.options.database_unit_m))
+
+    def _structure(self, cell: LayoutCell) -> bytes:
+        chunks: List[bytes] = []
+        chunks.append(_int2_record(_BGNSTR, *(_FIXED_TIMESTAMP * 2)))
+        chunks.append(_ascii_record(_STRNAME, _sanitize_name(cell.name)))
+        for layer_name, rect in cell.all_shapes():
+            chunks.append(self._boundary(layer_name, rect))
+        for label in cell.labels:
+            chunks.append(self._text(label.layer, label.text, label.position))
+        for instance in cell.instances:
+            chunks.append(self._sref(instance))
+        chunks.append(_record(_ENDSTR))
+        return b"".join(chunks)
+
+    def _boundary(self, layer_name: str, rect: Rect) -> bytes:
+        layer, datatype = self._layer_numbers(layer_name)
+        points = rect.corners() + [rect.corners()[0]]
+        coords: List[int] = []
+        for point in points:
+            coords.append(self._to_db(point.x))
+            coords.append(self._to_db(point.y))
+        return b"".join(
+            [
+                _record(_BOUNDARY),
+                _int2_record(_LAYER, layer),
+                _int2_record(_DATATYPE, datatype),
+                _int4_record(_XY, *coords),
+                _record(_ENDEL),
+            ]
+        )
+
+    def _text(self, layer_name: str, text: str, position: Point) -> bytes:
+        layer, datatype = self._layer_numbers(layer_name)
+        return b"".join(
+            [
+                _record(_TEXT),
+                _int2_record(_LAYER, layer),
+                _int2_record(_TEXTTYPE, datatype),
+                _int4_record(_XY, self._to_db(position.x), self._to_db(position.y)),
+                _ascii_record(_STRING, text[:512]),
+                _record(_ENDEL),
+            ]
+        )
+
+    def _sref(self, instance) -> bytes:
+        reflect, angle = _ORIENTATION_TO_GDS[instance.transform.orientation]
+        chunks = [
+            _record(_SREF),
+            _ascii_record(_SNAME, _sanitize_name(instance.cell_name)),
+        ]
+        if reflect or angle:
+            chunks.append(_record(_STRANS, struct.pack(">H", 0x8000 if reflect else 0)))
+            chunks.append(_real8_record(_ANGLE, angle))
+        chunks.append(
+            _int4_record(
+                _XY,
+                self._to_db(instance.transform.dx),
+                self._to_db(instance.transform.dy),
+            )
+        )
+        chunks.append(_record(_ENDEL))
+        return b"".join(chunks)
+
+
+def _sanitize_name(name: str) -> str:
+    allowed = []
+    for char in name:
+        if char.isalnum() or char in "_$":
+            allowed.append(char)
+        else:
+            allowed.append("_")
+    sanitized = "".join(allowed)[:32]
+    return sanitized or "CELL"
+
+
+# ---------------------------------------------------------------------------
+# Minimal reader (structure names + per-structure element counts) so tests
+# can round-trip the writer output without an external dependency.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class GDSStructureSummary:
+    """Summary of one GDSII structure as seen by :func:`read_gds_summary`."""
+
+    name: str
+    boundary_count: int = 0
+    sref_count: int = 0
+    text_count: int = 0
+    layers: Tuple[int, ...] = ()
+
+
+def read_gds_summary(data: bytes) -> Dict[str, GDSStructureSummary]:
+    """Parse GDSII bytes and return a per-structure summary.
+
+    Only the records emitted by :class:`GDSWriter` are interpreted; unknown
+    records are skipped, which is sufficient for validating round trips.
+    """
+    offset = 0
+    structures: Dict[str, GDSStructureSummary] = {}
+    current: Optional[GDSStructureSummary] = None
+    current_layers: List[int] = []
+    while offset + 4 <= len(data):
+        length, record_type = struct.unpack(">HH", data[offset : offset + 4])
+        if length < 4:
+            raise GDSError(f"Corrupt GDSII record at offset {offset}")
+        payload = data[offset + 4 : offset + length]
+        offset += length
+        if record_type == _STRNAME:
+            name = payload.rstrip(b"\x00").decode("ascii")
+            current = GDSStructureSummary(name=name)
+            current_layers = []
+        elif record_type == _ENDSTR and current is not None:
+            current.layers = tuple(sorted(set(current_layers)))
+            structures[current.name] = current
+            current = None
+        elif record_type == _BOUNDARY and current is not None:
+            current.boundary_count += 1
+        elif record_type == _SREF and current is not None:
+            current.sref_count += 1
+        elif record_type == _TEXT and current is not None:
+            current.text_count += 1
+        elif record_type == _LAYER and current is not None:
+            current_layers.append(struct.unpack(">h", payload)[0])
+        elif record_type == _ENDLIB:
+            break
+    return structures

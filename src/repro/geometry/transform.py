@@ -1,0 +1,114 @@
+"""2-D layout transformations (translation, 90°-rotations, mirroring).
+
+Transformations compose the way cell instances are placed in a layout
+hierarchy: rotation/mirror first, then translation, matching the GDSII
+``STRANS``/``ANGLE``/``XY`` semantics for the subset we support (orthogonal
+orientations only, which is all a standard-cell flow needs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import GeometryError
+from .primitives import Point, Rect
+
+
+class Orientation(Enum):
+    """The eight orthogonal orientations of a placed cell."""
+
+    R0 = "R0"
+    R90 = "R90"
+    R180 = "R180"
+    R270 = "R270"
+    MX = "MX"      # mirror about the x-axis (flip vertically)
+    MY = "MY"      # mirror about the y-axis (flip horizontally)
+    MXR90 = "MXR90"
+    MYR90 = "MYR90"
+
+    @property
+    def rotation_quarters(self) -> int:
+        """Number of 90° counter-clockwise rotations applied after mirroring."""
+        return {
+            Orientation.R0: 0,
+            Orientation.R90: 1,
+            Orientation.R180: 2,
+            Orientation.R270: 3,
+            Orientation.MX: 0,
+            Orientation.MY: 2,
+            Orientation.MXR90: 1,
+            Orientation.MYR90: 3,
+        }[self]
+
+    @property
+    def mirrored(self) -> bool:
+        """Whether the orientation includes a mirror about the x-axis."""
+        return self in (
+            Orientation.MX,
+            Orientation.MY,
+            Orientation.MXR90,
+            Orientation.MYR90,
+        )
+
+
+@dataclass(frozen=True)
+class Transform:
+    """A placement transform: optional mirror about x, an orthogonal
+    rotation, then a translation."""
+
+    dx: float = 0.0
+    dy: float = 0.0
+    orientation: Orientation = Orientation.R0
+
+    def apply_point(self, point: Point) -> Point:
+        """Apply the transform to a point."""
+        x, y = point.x, point.y
+        if self.orientation.mirrored:
+            y = -y
+        for _ in range(self.orientation.rotation_quarters):
+            x, y = -y, x
+        return Point(x + self.dx, y + self.dy)
+
+    def apply_rect(self, rect: Rect) -> Rect:
+        """Apply the transform to a rectangle (result stays axis-aligned
+        because only orthogonal orientations are supported)."""
+        p1 = self.apply_point(rect.lower_left)
+        p2 = self.apply_point(rect.upper_right)
+        return Rect.from_corners(p1, p2)
+
+    def compose(self, inner: "Transform") -> "Transform":
+        """Return the transform equivalent to applying ``inner`` first and
+        then ``self`` (used to flatten layout hierarchies)."""
+        origin = self.apply_point(inner.apply_point(Point(0.0, 0.0)))
+        unit_x = self.apply_point(inner.apply_point(Point(1.0, 0.0)))
+        unit_y = self.apply_point(inner.apply_point(Point(0.0, 1.0)))
+        ex = (unit_x.x - origin.x, unit_x.y - origin.y)
+        ey = (unit_y.x - origin.x, unit_y.y - origin.y)
+        orientation = _orientation_from_basis(ex, ey)
+        return Transform(dx=origin.x, dy=origin.y, orientation=orientation)
+
+    @classmethod
+    def translation(cls, dx: float, dy: float) -> "Transform":
+        """Pure translation."""
+        return cls(dx=dx, dy=dy, orientation=Orientation.R0)
+
+
+def _orientation_from_basis(ex, ey) -> Orientation:
+    """Recover the orientation whose transformed x/y unit vectors are
+    ``ex``/``ey``."""
+    basis = (round(ex[0]), round(ex[1]), round(ey[0]), round(ey[1]))
+    table = {
+        (1, 0, 0, 1): Orientation.R0,
+        (0, 1, -1, 0): Orientation.R90,
+        (-1, 0, 0, -1): Orientation.R180,
+        (0, -1, 1, 0): Orientation.R270,
+        (1, 0, 0, -1): Orientation.MX,
+        (-1, 0, 0, 1): Orientation.MY,
+        (0, 1, 1, 0): Orientation.MXR90,
+        (0, -1, -1, 0): Orientation.MYR90,
+    }
+    try:
+        return table[basis]
+    except KeyError:
+        raise GeometryError(f"Non-orthogonal basis {basis} cannot be represented") from None

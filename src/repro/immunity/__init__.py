@@ -1,0 +1,23 @@
+"""Mispositioned-CNT immunity analysis (Figure 2 experiments)."""
+
+from .checker import ImmunityChecker, ImmunityReport, TubeAnalysis
+from .cnts import CNTInstance, nominal_cnts, random_mispositioned_cnts
+from .montecarlo import (
+    MonteCarloResult,
+    compare_techniques,
+    format_comparison,
+    run_immunity_trials,
+)
+
+__all__ = [
+    "ImmunityChecker",
+    "ImmunityReport",
+    "TubeAnalysis",
+    "CNTInstance",
+    "nominal_cnts",
+    "random_mispositioned_cnts",
+    "MonteCarloResult",
+    "compare_techniques",
+    "format_comparison",
+    "run_immunity_trials",
+]

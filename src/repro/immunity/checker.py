@@ -1,0 +1,221 @@
+"""Functional immunity checking against mispositioned CNTs.
+
+Given a generated cell (its :class:`~repro.core.spec.CellAnnotations`) and a
+population of CNTs (nominal plus mispositioned), the checker derives the
+logic function the physical layout would actually implement and compares it
+with the intended truth table:
+
+1. For every CNT, the contacts, gates and etched regions it crosses are
+   collected as intervals along the tube (doping follows the paper's
+   process: regions under a gate stay intrinsic and are controlled by that
+   gate; everything else is doped and always conducts; etched intervals cut
+   the tube).
+2. Under a given input assignment, two contacts are electrically connected
+   through a tube when every gate interval between them is turned on
+   (n-type conducts at 1, p-type at 0) and no etched interval lies between
+   them.
+3. The union of these connections over all tubes (plus the implicit
+   metal connection between same-net contacts) yields the driven value of
+   the output: pulled high, pulled low, floating, or a Vdd-Gnd conflict.
+
+A layout is *immune* when, for every input assignment, the perturbed cell
+still drives the intended value.  This is exactly the property the paper's
+Euler-path layouts guarantee by construction and the vulnerable layouts of
+Figure 2(b) lack.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.spec import CellAnnotations
+from ..errors import ImmunityAnalysisError
+from ..logic.truthtable import TruthTable
+from .cnts import CNTInstance
+
+
+@dataclass(frozen=True)
+class _TubeCrossing:
+    """One region crossed by a tube, at interval [t_start, t_end]."""
+
+    t_start: float
+    t_end: float
+    kind: str           # "contact" | "gate" | "etch"
+    label: str = ""     # net for contacts, signal for gates
+    device: str = ""    # gate polarity ("nfet"/"pfet")
+
+    @property
+    def midpoint(self) -> float:
+        return (self.t_start + self.t_end) / 2.0
+
+
+@dataclass
+class TubeAnalysis:
+    """Pre-computed crossings of one CNT (assignment-independent)."""
+
+    cnt: CNTInstance
+    crossings: List[_TubeCrossing] = field(default_factory=list)
+
+    def conducting_pairs(self, assignment: Mapping[str, bool]) -> List[Tuple[str, str]]:
+        """Net pairs this tube connects under the given input assignment."""
+        ordered = sorted(self.crossings, key=lambda c: c.midpoint)
+        pairs: List[Tuple[str, str]] = []
+        # Walk contacts left to right; a blocking interval (off gate or etch)
+        # between two contacts breaks the conduction.  A metallic tube cannot
+        # be turned off by a gate — only an etched region cuts it.
+        last_contact: Optional[str] = None
+        blocked = False
+        for crossing in ordered:
+            if crossing.kind == "contact":
+                if last_contact is not None and not blocked:
+                    pairs.append((last_contact, crossing.label))
+                last_contact = crossing.label
+                blocked = False
+            elif crossing.kind == "etch":
+                blocked = True
+            elif crossing.kind == "gate":
+                if not self.cnt.metallic and not _gate_is_on(crossing, assignment):
+                    blocked = True
+        return pairs
+
+
+def _gate_is_on(crossing: _TubeCrossing, assignment: Mapping[str, bool]) -> bool:
+    try:
+        value = bool(assignment[crossing.label])
+    except KeyError:
+        raise ImmunityAnalysisError(
+            f"No value provided for input {crossing.label!r}"
+        ) from None
+    return value if crossing.device == "nfet" else not value
+
+
+@dataclass(frozen=True)
+class ImmunityReport:
+    """Outcome of checking one cell against one CNT population."""
+
+    cell_name: str
+    immune: bool
+    failing_assignments: Tuple[Dict[str, bool], ...]
+    observed: TruthTable
+    expected: TruthTable
+    nominal_matches: bool
+    mispositioned_count: int
+
+    @property
+    def failure_count(self) -> int:
+        return len(self.failing_assignments)
+
+
+class ImmunityChecker:
+    """Evaluate the logic function a physical CNT population implements."""
+
+    def __init__(self, annotations: CellAnnotations,
+                 vdd_net: str = "vdd", gnd_net: str = "gnd"):
+        if not annotations.contacts:
+            raise ImmunityAnalysisError(
+                f"Cell {annotations.cell_name!r} has no contacts to analyse"
+            )
+        self.annotations = annotations
+        self.vdd_net = vdd_net
+        self.gnd_net = gnd_net
+        self.output_net = annotations.output_net
+        self.inputs = tuple(annotations.inputs) or tuple(annotations.signals())
+
+    # -- tube-level analysis ------------------------------------------------------
+
+    def analyse_tube(self, cnt: CNTInstance) -> TubeAnalysis:
+        """Collect the contact/gate/etch crossings of one tube."""
+        analysis = TubeAnalysis(cnt=cnt)
+        for contact in self.annotations.contacts:
+            interval = cnt.intersection_interval(contact.rect)
+            if interval:
+                analysis.crossings.append(
+                    _TubeCrossing(interval[0], interval[1], "contact", contact.net)
+                )
+        for gate in self.annotations.gates:
+            interval = cnt.intersection_interval(gate.rect)
+            if interval:
+                analysis.crossings.append(
+                    _TubeCrossing(interval[0], interval[1], "gate", gate.signal, gate.device)
+                )
+        for etch in self.annotations.etches:
+            interval = cnt.intersection_interval(etch.rect)
+            if interval:
+                analysis.crossings.append(
+                    _TubeCrossing(interval[0], interval[1], "etch")
+                )
+        return analysis
+
+    # -- cell-level evaluation -----------------------------------------------------
+
+    def output_value(self, tubes: Sequence[TubeAnalysis],
+                     assignment: Mapping[str, bool]) -> Optional[bool]:
+        """Value driven on the output under one assignment.
+
+        ``True``/``False`` when the output is cleanly pulled to Vdd/Gnd,
+        ``None`` for a floating output or a Vdd-Gnd conflict.
+        """
+        adjacency: Dict[str, set] = {}
+
+        def connect(net_a: str, net_b: str) -> None:
+            adjacency.setdefault(net_a, set()).add(net_b)
+            adjacency.setdefault(net_b, set()).add(net_a)
+
+        for tube in tubes:
+            for net_a, net_b in tube.conducting_pairs(assignment):
+                if net_a != net_b:
+                    connect(net_a, net_b)
+
+        reached = self._reachable(self.output_net, adjacency)
+        pulled_high = self.vdd_net in reached
+        pulled_low = self.gnd_net in reached
+        if pulled_high and not pulled_low:
+            return True
+        if pulled_low and not pulled_high:
+            return False
+        return None
+
+    @staticmethod
+    def _reachable(start: str, adjacency: Dict[str, set]) -> set:
+        frontier = [start]
+        reached = {start}
+        while frontier:
+            node = frontier.pop()
+            for neighbour in adjacency.get(node, ()):
+                if neighbour not in reached:
+                    reached.add(neighbour)
+                    frontier.append(neighbour)
+        return reached
+
+    def truth_table(self, cnts: Sequence[CNTInstance]) -> TruthTable:
+        """Truth table implemented by the given CNT population."""
+        tubes = [self.analyse_tube(cnt) for cnt in cnts]
+        return TruthTable.from_function(
+            lambda assignment: self.output_value(tubes, assignment), self.inputs
+        )
+
+    def check(self, nominal: Sequence[CNTInstance],
+              mispositioned: Sequence[CNTInstance],
+              expected: Optional[TruthTable] = None) -> ImmunityReport:
+        """Full immunity check of a CNT population against the intended
+        function (defaults to the function the nominal tubes implement)."""
+        nominal_table = self.truth_table(nominal)
+        if expected is None:
+            expected = nominal_table
+        observed = self.truth_table(list(nominal) + list(mispositioned))
+        failing = tuple(
+            assignment
+            for assignment, value in observed.rows()
+            if value != expected.row(assignment)
+        )
+        return ImmunityReport(
+            cell_name=self.annotations.cell_name,
+            immune=not failing,
+            failing_assignments=failing,
+            observed=observed,
+            expected=expected,
+            nominal_matches=nominal_table.equivalent_to(expected),
+            mispositioned_count=len(mispositioned),
+        )

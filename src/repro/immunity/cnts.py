@@ -1,0 +1,212 @@
+"""Carbon-nanotube instances for the mispositioning analysis.
+
+A CNT is modelled as a straight line segment in the cell plane.  Nominal
+(intended) CNTs run exactly along the CNT growth axis underneath the gates;
+mispositioned CNTs start anywhere in the cell and deviate from the growth
+axis by a small random angle, which is the defect mechanism of Section III
+(and of Patil et al. [6]): such a tube can wander between device columns
+and, if nothing stops it, connect two metal contacts without passing under
+the gate that is supposed to control it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ImmunityAnalysisError
+from ..geometry.primitives import Point, Rect
+from ..core.spec import CellAnnotations
+
+
+@dataclass(frozen=True)
+class CNTInstance:
+    """One carbon nanotube, as a straight segment from ``start`` to ``end``.
+
+    ``metallic`` marks a tube whose chirality makes it conduct regardless of
+    any gate above it.  The paper assumes metallic tubes are removed during
+    manufacturing (Section II); the flag exists so that assumption can be
+    stress-tested by injecting residual metallic tubes into the immunity
+    analysis.
+    """
+
+    start: Point
+    end: Point
+    mispositioned: bool = False
+    metallic: bool = False
+
+    @property
+    def length(self) -> float:
+        return self.start.distance_to(self.end)
+
+    def point_at(self, t: float) -> Point:
+        """Point at normalised parameter ``t`` in [0, 1]."""
+        return Point(
+            self.start.x + t * (self.end.x - self.start.x),
+            self.start.y + t * (self.end.y - self.start.y),
+        )
+
+    def intersection_interval(self, rect: Rect) -> Optional[Tuple[float, float]]:
+        """The parameter interval of the segment inside ``rect`` (or ``None``).
+
+        Standard slab clipping (Liang-Barsky); degenerate overlaps shorter
+        than 1e-9 of the segment are ignored.
+        """
+        dx = self.end.x - self.start.x
+        dy = self.end.y - self.start.y
+        t_min, t_max = 0.0, 1.0
+        for delta, origin, low, high in (
+            (dx, self.start.x, rect.x1, rect.x2),
+            (dy, self.start.y, rect.y1, rect.y2),
+        ):
+            if abs(delta) < 1e-12:
+                if origin < low or origin > high:
+                    return None
+                continue
+            t_low = (low - origin) / delta
+            t_high = (high - origin) / delta
+            if t_low > t_high:
+                t_low, t_high = t_high, t_low
+            t_min = max(t_min, t_low)
+            t_max = min(t_max, t_high)
+            if t_min > t_max:
+                return None
+        if t_max - t_min <= 1e-9:
+            return None
+        return (t_min, t_max)
+
+
+def nominal_cnts(
+    annotations: CellAnnotations,
+    pitch: float = 1.0,
+    axis: str = "y",
+) -> List[CNTInstance]:
+    """The intended, perfectly aligned CNTs of a cell.
+
+    CNTs are placed at ``pitch`` (λ) across every lane where a gate exists,
+    spanning the full extent of the active region that contains the gate
+    along the growth ``axis`` (``"y"`` for the raw network columns, ``"x"``
+    for assembled standard cells, whose strips run horizontally).
+    """
+    if pitch <= 0:
+        raise ImmunityAnalysisError("pitch must be positive")
+    if axis not in ("x", "y"):
+        raise ImmunityAnalysisError(f"axis must be 'x' or 'y', got {axis!r}")
+
+    cnts: List[CNTInstance] = []
+    for active in annotations.actives:
+        lanes = _gate_lanes_in_active(annotations, active.rect, axis)
+        for lane_start, lane_end in lanes:
+            position = lane_start + pitch / 2.0
+            while position < lane_end:
+                if axis == "y":
+                    cnts.append(
+                        CNTInstance(
+                            Point(position, active.rect.y1),
+                            Point(position, active.rect.y2),
+                        )
+                    )
+                else:
+                    cnts.append(
+                        CNTInstance(
+                            Point(active.rect.x1, position),
+                            Point(active.rect.x2, position),
+                        )
+                    )
+                position += pitch
+    if not cnts:
+        raise ImmunityAnalysisError(
+            f"Cell {annotations.cell_name!r} produced no nominal CNTs "
+            "(no gates over active regions?)"
+        )
+    return cnts
+
+
+def _gate_lanes_in_active(annotations: CellAnnotations, active: Rect,
+                          axis: str) -> List[Tuple[float, float]]:
+    """Across-axis intervals covered by gates inside one active region."""
+    intervals: List[Tuple[float, float]] = []
+    for gate in annotations.gates:
+        overlap = gate.rect.intersection(active)
+        if overlap is None or overlap.is_degenerate(1e-9):
+            continue
+        if axis == "y":
+            intervals.append((overlap.x1, overlap.x2))
+        else:
+            intervals.append((overlap.y1, overlap.y2))
+    return _merge_intervals(intervals)
+
+
+def _merge_intervals(intervals: List[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    if not intervals:
+        return []
+    merged: List[Tuple[float, float]] = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1] + 1e-9:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def random_mispositioned_cnts(
+    annotations: CellAnnotations,
+    count: int,
+    rng: np.random.Generator,
+    max_angle_deg: float = 15.0,
+    axis: str = "y",
+    region: Optional[Rect] = None,
+    metallic_fraction: float = 0.0,
+) -> List[CNTInstance]:
+    """Draw ``count`` mispositioned CNTs.
+
+    Each tube passes through a uniformly random point of the cell (or the
+    supplied ``region``) at an angle drawn uniformly within
+    ``±max_angle_deg`` of the growth axis, and is long enough to span the
+    whole cell, matching the "mispositioned but still roughly aligned"
+    defects the paper considers.  ``metallic_fraction`` of the tubes are
+    additionally marked metallic (the paper assumes this fraction is driven
+    to zero by processing; non-zero values stress-test that assumption).
+    """
+    if not 0.0 <= metallic_fraction <= 1.0:
+        raise ImmunityAnalysisError("metallic_fraction must be within [0, 1]")
+    if count < 0:
+        raise ImmunityAnalysisError("count must be non-negative")
+    if axis not in ("x", "y"):
+        raise ImmunityAnalysisError(f"axis must be 'x' or 'y', got {axis!r}")
+    if region is None:
+        region = _cell_extent(annotations)
+    span = math.hypot(region.width, region.height) * 1.2
+
+    cnts: List[CNTInstance] = []
+    for _ in range(count):
+        x = rng.uniform(region.x1, region.x2)
+        y = rng.uniform(region.y1, region.y2)
+        angle = math.radians(rng.uniform(-max_angle_deg, max_angle_deg))
+        if axis == "y":
+            direction = (math.sin(angle), math.cos(angle))
+        else:
+            direction = (math.cos(angle), math.sin(angle))
+        half = span / 2.0
+        start = Point(x - direction[0] * half, y - direction[1] * half)
+        end = Point(x + direction[0] * half, y + direction[1] * half)
+        metallic = bool(rng.uniform() < metallic_fraction)
+        cnts.append(CNTInstance(start, end, mispositioned=True, metallic=metallic))
+    return cnts
+
+
+def _cell_extent(annotations: CellAnnotations) -> Rect:
+    rects = [a.rect for a in annotations.actives]
+    rects += [c.rect for c in annotations.contacts]
+    rects += [g.rect for g in annotations.gates]
+    if not rects:
+        raise ImmunityAnalysisError(
+            f"Cell {annotations.cell_name!r} has no annotated geometry"
+        )
+    extent = rects[0]
+    for rect in rects[1:]:
+        extent = extent.union_bbox(rect)
+    return extent

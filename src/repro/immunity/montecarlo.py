@@ -1,0 +1,160 @@
+"""Monte Carlo mispositioned-CNT immunity experiments (Figure 2).
+
+The paper's qualitative claim — the vulnerable layout of Figure 2(b) fails
+under mispositioned CNTs while the immune layouts (etched-region baseline
+and the new compact technique) keep 100 % functionality — is quantified
+here: for each layout technique a population of random mispositioned CNTs
+is injected repeatedly and the fraction of trials whose truth table is
+corrupted is reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.spec import CellAnnotations, get_annotations
+from ..core.standard_cell import StandardCell, assemble_cell
+from ..errors import ImmunityAnalysisError
+from ..logic.functions import standard_gate
+from ..logic.network import GateNetworks
+from ..tech.lambda_rules import CNFET_RULES, DesignRules
+from .checker import ImmunityChecker, ImmunityReport
+from .cnts import nominal_cnts, random_mispositioned_cnts
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Aggregate outcome of one immunity Monte Carlo run."""
+
+    cell_name: str
+    technique: str
+    trials: int
+    cnts_per_trial: int
+    failures: int
+    nominal_matches: bool
+
+    @property
+    def failure_rate(self) -> float:
+        """Fraction of trials whose logic function was corrupted."""
+        if self.trials == 0:
+            return 0.0
+        return self.failures / self.trials
+
+    @property
+    def immune(self) -> bool:
+        """100 % functional immunity across all trials."""
+        return self.failures == 0 and self.nominal_matches
+
+
+def run_immunity_trials(
+    cell: StandardCell,
+    trials: int = 200,
+    cnts_per_trial: int = 4,
+    max_angle_deg: float = 15.0,
+    seed: int = 2009,
+    cnt_pitch: float = 1.0,
+    metallic_fraction: float = 0.0,
+) -> MonteCarloResult:
+    """Monte Carlo immunity analysis of one assembled standard cell.
+
+    Assembled cells have their CNT strips running horizontally, so the
+    growth axis is ``x``.  ``metallic_fraction`` marks a fraction of the
+    injected defect tubes as metallic — the paper assumes this is zero after
+    processing (Section II); raising it shows how quickly that assumption
+    matters, because no layout technique can gate a metallic tube off.
+    """
+    annotations = cell.annotations()
+    return _run_trials(
+        annotations=annotations,
+        expected_gate=cell.gate,
+        technique=cell.technique,
+        axis="x",
+        trials=trials,
+        cnts_per_trial=cnts_per_trial,
+        max_angle_deg=max_angle_deg,
+        seed=seed,
+        cnt_pitch=cnt_pitch,
+        metallic_fraction=metallic_fraction,
+    )
+
+
+def _run_trials(
+    annotations: CellAnnotations,
+    expected_gate: Optional[GateNetworks],
+    technique: str,
+    axis: str,
+    trials: int,
+    cnts_per_trial: int,
+    max_angle_deg: float,
+    seed: int,
+    cnt_pitch: float,
+    metallic_fraction: float = 0.0,
+) -> MonteCarloResult:
+    if trials <= 0:
+        raise ImmunityAnalysisError("trials must be positive")
+    checker = ImmunityChecker(annotations)
+    nominal = nominal_cnts(annotations, pitch=cnt_pitch, axis=axis)
+    expected = expected_gate.expected_truth_table() if expected_gate else None
+    rng = np.random.default_rng(seed)
+
+    nominal_report = checker.check(nominal, [], expected=expected)
+    failures = 0
+    for _ in range(trials):
+        strays = random_mispositioned_cnts(
+            annotations, cnts_per_trial, rng, max_angle_deg=max_angle_deg, axis=axis,
+            metallic_fraction=metallic_fraction,
+        )
+        report = checker.check(nominal, strays, expected=expected)
+        if not report.immune:
+            failures += 1
+
+    return MonteCarloResult(
+        cell_name=annotations.cell_name,
+        technique=technique,
+        trials=trials,
+        cnts_per_trial=cnts_per_trial,
+        failures=failures,
+        nominal_matches=nominal_report.nominal_matches and nominal_report.immune,
+    )
+
+
+def compare_techniques(
+    gate_name: str = "NAND2",
+    techniques: Sequence[str] = ("vulnerable", "baseline", "compact"),
+    trials: int = 200,
+    cnts_per_trial: int = 4,
+    unit_width: float = 4.0,
+    scheme: int = 1,
+    seed: int = 2009,
+    rules: DesignRules = CNFET_RULES,
+) -> Dict[str, MonteCarloResult]:
+    """Run the Figure 2 experiment: the same gate laid out with each
+    technique, attacked by the same Monte Carlo CNT defect model."""
+    results: Dict[str, MonteCarloResult] = {}
+    for index, technique in enumerate(techniques):
+        gate = standard_gate(gate_name)
+        cell = assemble_cell(
+            gate, technique=technique, scheme=scheme, unit_width=unit_width, rules=rules
+        )
+        results[technique] = run_immunity_trials(
+            cell,
+            trials=trials,
+            cnts_per_trial=cnts_per_trial,
+            seed=seed + index,
+        )
+    return results
+
+
+def format_comparison(results: Dict[str, MonteCarloResult]) -> str:
+    """Render a technique-vs-failure-rate table."""
+    header = f"{'technique':<12} {'trials':>7} {'failures':>9} {'failure rate':>13} {'immune':>7}"
+    lines = [header, "-" * len(header)]
+    for technique, result in results.items():
+        lines.append(
+            f"{technique:<12} {result.trials:>7} {result.failures:>9} "
+            f"{result.failure_rate * 100:>12.1f}% {str(result.immune):>7}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Boolean logic substrate: expressions, truth tables, transistor networks."""
+
+from .expr import (
+    And,
+    Const,
+    Expr,
+    Not,
+    Or,
+    Var,
+    and_,
+    not_,
+    or_,
+    parse_expression,
+    var,
+)
+from .functions import (
+    STANDARD_GATES,
+    all_standard_gates,
+    aoi21,
+    aoi22,
+    aoi31,
+    from_pulldown,
+    inverter,
+    nand,
+    nor,
+    oai21,
+    oai22,
+    standard_gate,
+)
+from .network import (
+    GND_NET,
+    OUTPUT_NET,
+    VDD_NET,
+    GateNetworks,
+    SPLeaf,
+    SPNode,
+    SPParallel,
+    SPSeries,
+    Transistor,
+    TransistorNetwork,
+    sp_from_expression,
+)
+from .truthtable import TruthTable, expressions_equivalent
+
+__all__ = [
+    "And", "Const", "Expr", "Not", "Or", "Var",
+    "and_", "not_", "or_", "parse_expression", "var",
+    "STANDARD_GATES", "all_standard_gates",
+    "aoi21", "aoi22", "aoi31", "from_pulldown", "inverter",
+    "nand", "nor", "oai21", "oai22", "standard_gate",
+    "GND_NET", "OUTPUT_NET", "VDD_NET",
+    "GateNetworks", "SPLeaf", "SPNode", "SPParallel", "SPSeries",
+    "Transistor", "TransistorNetwork", "sp_from_expression",
+    "TruthTable", "expressions_equivalent",
+]

@@ -1,0 +1,135 @@
+"""Truth tables and functional equivalence checks.
+
+Used both by the logic layer (to verify that generated PUN/PDN networks
+implement the intended cell function) and by the mispositioned-CNT immunity
+checker (to compare the behaviour of a perturbed layout against the nominal
+truth table under every input combination).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import LogicError
+from .expr import Expr
+
+
+@dataclass(frozen=True)
+class TruthTable:
+    """A complete truth table over an ordered tuple of input names.
+
+    ``outputs[i]`` is the output for the input combination whose bits are
+    the binary expansion of ``i`` with ``inputs[0]`` as the most significant
+    bit (so row 0 is all-zeros and the last row is all-ones).
+    """
+
+    inputs: Tuple[str, ...]
+    outputs: Tuple[Optional[bool], ...]
+
+    def __post_init__(self):
+        expected = 1 << len(self.inputs)
+        if len(self.outputs) != expected:
+            raise LogicError(
+                f"Truth table over {len(self.inputs)} inputs needs {expected} rows, "
+                f"got {len(self.outputs)}"
+            )
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_expression(cls, expr: Expr, inputs: Optional[Sequence[str]] = None) -> "TruthTable":
+        """Tabulate a Boolean expression (inputs default to sorted variables)."""
+        names = tuple(inputs) if inputs is not None else tuple(sorted(expr.variables()))
+        missing = expr.variables() - set(names)
+        if missing:
+            raise LogicError(f"Expression uses variables not listed as inputs: {sorted(missing)}")
+        outputs = tuple(
+            expr.evaluate(dict(zip(names, bits)))
+            for bits in _all_assignments(len(names))
+        )
+        return cls(names, outputs)
+
+    @classmethod
+    def from_function(
+        cls, function: Callable[[Mapping[str, bool]], Optional[bool]], inputs: Sequence[str]
+    ) -> "TruthTable":
+        """Tabulate a Python callable mapping assignments to output values.
+
+        The callable may return ``None`` to denote an undefined / floating
+        output (used by the immunity checker for conflicting drive).
+        """
+        names = tuple(inputs)
+        outputs = tuple(
+            function(dict(zip(names, bits))) for bits in _all_assignments(len(names))
+        )
+        return cls(names, outputs)
+
+    # -- queries -----------------------------------------------------------------
+
+    def row(self, assignment: Mapping[str, bool]) -> Optional[bool]:
+        """Output for a specific assignment."""
+        index = 0
+        for name in self.inputs:
+            if name not in assignment:
+                raise LogicError(f"Assignment missing input {name!r}")
+            index = (index << 1) | (1 if assignment[name] else 0)
+        return self.outputs[index]
+
+    def rows(self) -> Iterable[Tuple[Dict[str, bool], Optional[bool]]]:
+        """Iterate over ``(assignment, output)`` pairs."""
+        for index, bits in enumerate(_all_assignments(len(self.inputs))):
+            yield dict(zip(self.inputs, bits)), self.outputs[index]
+
+    def is_complete(self) -> bool:
+        """Whether every row has a defined (non-``None``) output."""
+        return all(value is not None for value in self.outputs)
+
+    def equivalent_to(self, other: "TruthTable") -> bool:
+        """Functional equivalence (requires identical input sets; input
+        order may differ)."""
+        if set(self.inputs) != set(other.inputs):
+            return False
+        for assignment, output in self.rows():
+            if output != other.row(assignment):
+                return False
+        return True
+
+    def differing_rows(self, other: "TruthTable") -> List[Dict[str, bool]]:
+        """Assignments on which the two tables disagree."""
+        if set(self.inputs) != set(other.inputs):
+            raise LogicError(
+                f"Cannot compare tables over different inputs: "
+                f"{sorted(self.inputs)} vs {sorted(other.inputs)}"
+            )
+        return [
+            assignment
+            for assignment, output in self.rows()
+            if output != other.row(assignment)
+        ]
+
+    def format(self) -> str:
+        """Human-readable table used by reports and examples."""
+        header = " ".join(self.inputs) + " | out"
+        lines = [header, "-" * len(header)]
+        for assignment, output in self.rows():
+            bits = " ".join("1" if assignment[name] else "0" for name in self.inputs)
+            out = "X" if output is None else ("1" if output else "0")
+            lines.append(f"{bits} | {out}")
+        return "\n".join(lines)
+
+
+def _all_assignments(count: int) -> Iterable[Tuple[bool, ...]]:
+    return itertools.product((False, True), repeat=count)
+
+
+def expressions_equivalent(left: Expr, right: Expr) -> bool:
+    """Whether two expressions compute the same function over the union of
+    their variables."""
+    names = tuple(sorted(left.variables() | right.variables()))
+    for bits in _all_assignments(len(names)):
+        assignment = dict(zip(names, bits))
+        if left.evaluate(assignment) != right.evaluate(assignment):
+            return False
+    return True

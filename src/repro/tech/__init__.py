@@ -1,0 +1,34 @@
+"""Technology substrate: λ design rules, layer stacks, nodes and DRC."""
+
+from .drc import DRCChecker, DRCViolation, check_cells
+from .lambda_rules import (
+    CMOS_RULES,
+    CNFET_RULES,
+    LAMBDA_NM_65,
+    CMOSDesignRules,
+    DesignRules,
+    rules_by_name,
+)
+from .layers import Layer, LayerPurpose, LayerStack, cmos_layer_stack, cnfet_layer_stack
+from .nodes import GateStack, TechnologyNode, cmos65_node, cnfet65_node
+
+__all__ = [
+    "DRCChecker",
+    "DRCViolation",
+    "check_cells",
+    "CMOS_RULES",
+    "CNFET_RULES",
+    "LAMBDA_NM_65",
+    "CMOSDesignRules",
+    "DesignRules",
+    "rules_by_name",
+    "Layer",
+    "LayerPurpose",
+    "LayerStack",
+    "cmos_layer_stack",
+    "cnfet_layer_stack",
+    "GateStack",
+    "TechnologyNode",
+    "cmos65_node",
+    "cnfet65_node",
+]

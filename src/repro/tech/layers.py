@@ -1,0 +1,179 @@
+"""Layer definitions for the CNFET design platform.
+
+The paper customises a 65 nm CMOS back-end: a CNT plane replaces the silicon
+diffusion, the doping masks (p+/n+) and an optional etch mask are added, and
+everything from polysilicon up to Metal-7 is reused unchanged (Section IV).
+
+Layers are identified by a symbolic name and carry a GDSII ``(layer,
+datatype)`` pair used by :mod:`repro.geometry.gds`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import TechnologyError
+
+
+class LayerPurpose(Enum):
+    """Broad purpose category of a layer, used by DRC and extraction."""
+
+    SUBSTRATE = "substrate"
+    ACTIVE = "active"          # CNT plane (CNFET) or diffusion (CMOS)
+    DOPING = "doping"          # p+/n+ implant / chemical doping masks
+    ETCH = "etch"              # CNT etch mask (removes CNTs)
+    GATE = "gate"              # polysilicon gate
+    CONTACT = "contact"        # active/poly to metal-1 contacts
+    METAL = "metal"            # routing metals
+    VIA = "via"                # inter-metal vias
+    PIN = "pin"                # pin/label purpose
+    BOUNDARY = "boundary"      # cell abutment boundary / prBoundary
+
+
+@dataclass(frozen=True)
+class Layer:
+    """A single mask layer.
+
+    Attributes
+    ----------
+    name:
+        Symbolic name, e.g. ``"cnt"``, ``"poly"``, ``"metal1"``.
+    gds_layer, gds_datatype:
+        GDSII stream numbers used on export.
+    purpose:
+        The :class:`LayerPurpose` category.
+    level:
+        Vertical ordering index (substrate = 0, higher = further from bulk).
+    """
+
+    name: str
+    gds_layer: int
+    gds_datatype: int
+    purpose: LayerPurpose
+    level: int
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+class LayerStack:
+    """An ordered collection of :class:`Layer` objects.
+
+    The stack behaves like a read-only mapping from layer name to layer and
+    offers convenience queries used by the layout generators, DRC and the
+    GDSII writer.
+    """
+
+    def __init__(self, layers: Iterable[Layer], name: str = "stack"):
+        self.name = name
+        self._layers: Dict[str, Layer] = {}
+        self._by_gds: Dict[Tuple[int, int], Layer] = {}
+        for layer in layers:
+            self.add(layer)
+
+    def add(self, layer: Layer) -> None:
+        """Add a layer; duplicate names or GDS numbers are rejected."""
+        if layer.name in self._layers:
+            raise TechnologyError(f"Duplicate layer name {layer.name!r} in stack {self.name!r}")
+        key = (layer.gds_layer, layer.gds_datatype)
+        if key in self._by_gds:
+            other = self._by_gds[key]
+            raise TechnologyError(
+                f"GDS number {key} reused by layers {other.name!r} and {layer.name!r}"
+            )
+        self._layers[layer.name] = layer
+        self._by_gds[key] = layer
+
+    def __getitem__(self, name: str) -> Layer:
+        try:
+            return self._layers[name]
+        except KeyError:
+            raise TechnologyError(
+                f"Unknown layer {name!r}; available: {sorted(self._layers)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._layers
+
+    def __iter__(self):
+        return iter(self._layers.values())
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def names(self) -> List[str]:
+        """Layer names ordered by vertical level."""
+        return [layer.name for layer in sorted(self._layers.values(), key=lambda l: l.level)]
+
+    def by_purpose(self, purpose: LayerPurpose) -> List[Layer]:
+        """All layers with the given purpose, ordered by level."""
+        found = [layer for layer in self._layers.values() if layer.purpose is purpose]
+        return sorted(found, key=lambda l: l.level)
+
+    def by_gds(self, gds_layer: int, gds_datatype: int = 0) -> Optional[Layer]:
+        """Look up a layer by its GDSII numbers (``None`` if absent)."""
+        return self._by_gds.get((gds_layer, gds_datatype))
+
+    def metals(self) -> List[Layer]:
+        """Routing metal layers ordered bottom-up."""
+        return self.by_purpose(LayerPurpose.METAL)
+
+    def active_layer(self) -> Layer:
+        """The single active layer (CNT plane or diffusion)."""
+        actives = self.by_purpose(LayerPurpose.ACTIVE)
+        if len(actives) != 1:
+            raise TechnologyError(
+                f"Stack {self.name!r} must have exactly one active layer, found {len(actives)}"
+            )
+        return actives[0]
+
+
+# ---------------------------------------------------------------------------
+# Canonical stacks
+# ---------------------------------------------------------------------------
+
+def cnfet_layer_stack() -> LayerStack:
+    """The CNFET 65 nm-compatible layer stack from Section IV of the paper.
+
+    A CNT plane sits on 10 µm of SiO2 on the substrate; the p+/n+ doping
+    masks and the CNT etch mask are specific to the CNFET platform; poly and
+    the seven metal layers are reused from the 65 nm CMOS back-end.
+    """
+    layers = [
+        Layer("substrate", 0, 0, LayerPurpose.SUBSTRATE, 0),
+        Layer("cnt", 1, 0, LayerPurpose.ACTIVE, 1),
+        Layer("pplus", 2, 0, LayerPurpose.DOPING, 2),
+        Layer("nplus", 3, 0, LayerPurpose.DOPING, 2),
+        Layer("cnt_etch", 4, 0, LayerPurpose.ETCH, 2),
+        Layer("poly", 10, 0, LayerPurpose.GATE, 3),
+        Layer("contact", 11, 0, LayerPurpose.CONTACT, 4),
+        Layer("boundary", 63, 0, LayerPurpose.BOUNDARY, 20),
+        Layer("pin", 62, 0, LayerPurpose.PIN, 21),
+    ]
+    for index in range(1, 8):
+        layers.append(Layer(f"metal{index}", 20 + index, 0, LayerPurpose.METAL, 4 + 2 * index))
+        if index < 7:
+            layers.append(Layer(f"via{index}", 40 + index, 0, LayerPurpose.VIA, 5 + 2 * index))
+    return LayerStack(layers, name="cnfet65")
+
+
+def cmos_layer_stack() -> LayerStack:
+    """A conventional 65 nm CMOS layer stack used for the reference flows."""
+    layers = [
+        Layer("substrate", 0, 0, LayerPurpose.SUBSTRATE, 0),
+        Layer("diffusion", 1, 0, LayerPurpose.ACTIVE, 1),
+        Layer("pplus", 2, 0, LayerPurpose.DOPING, 2),
+        Layer("nplus", 3, 0, LayerPurpose.DOPING, 2),
+        Layer("nwell", 5, 0, LayerPurpose.DOPING, 2),
+        Layer("poly", 10, 0, LayerPurpose.GATE, 3),
+        Layer("contact", 11, 0, LayerPurpose.CONTACT, 4),
+        Layer("boundary", 63, 0, LayerPurpose.BOUNDARY, 20),
+        Layer("pin", 62, 0, LayerPurpose.PIN, 21),
+    ]
+    for index in range(1, 8):
+        layers.append(Layer(f"metal{index}", 20 + index, 0, LayerPurpose.METAL, 4 + 2 * index))
+        if index < 7:
+            layers.append(Layer(f"via{index}", 40 + index, 0, LayerPurpose.VIA, 5 + 2 * index))
+    return LayerStack(layers, name="cmos65")

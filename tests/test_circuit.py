@@ -1,0 +1,252 @@
+"""Tests for repro.circuit: netlists, FO4, transient simulation, timing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import (
+    GateNetlist,
+    Inverter,
+    ParasiticExtractor,
+    PiecewiseLinearSource,
+    TimingLibrary,
+    TransistorNetlist,
+    TransientSimulator,
+    analyse_netlist,
+    build_inverter_chain,
+    cmos_inverter,
+    cnfet_inverter,
+    compare_fo4,
+    fo4_load_capacitance,
+    fo4_metrics,
+    fo4_metrics_transient,
+    pulse_source,
+    step_source,
+    write_spice,
+)
+from repro.circuit.logical_effort import CellTimingModel
+from repro.devices import FO4_GATE_WIDTH_NM, calibrated_cnfet_parameters
+from repro.errors import NetlistError, SimulationError
+
+
+def _calibrated_cnfet_inverter(tubes=6):
+    return cnfet_inverter(tubes, FO4_GATE_WIDTH_NM,
+                          parameters=calibrated_cnfet_parameters())
+
+
+class TestInverter:
+    def test_polarity_validation(self):
+        from repro.devices import MOSFET
+
+        with pytest.raises(Exception):
+            Inverter(pull_down=MOSFET("p", 100), pull_up=MOSFET("p", 100))
+
+    def test_cmos_inverter_default_ratio(self):
+        inverter = cmos_inverter(200.0)
+        assert inverter.pull_up.width_nm == pytest.approx(280.0)
+
+    def test_scaling(self):
+        inverter = _calibrated_cnfet_inverter()
+        double = inverter.scaled(2.0)
+        assert double.input_capacitance() > inverter.input_capacitance()
+
+
+class TestFO4Analytical:
+    def test_load_is_self_plus_four_inputs(self):
+        inverter = cmos_inverter()
+        load = fo4_load_capacitance(inverter)
+        expected = inverter.output_capacitance() + 4 * inverter.input_capacitance()
+        assert load == pytest.approx(expected)
+
+    def test_cmos_fo4_in_expected_range(self):
+        metrics = fo4_metrics(cmos_inverter())
+        assert 10e-12 < metrics.delay_s < 40e-12
+        assert 1e-15 < metrics.energy_per_cycle_j < 5e-15
+
+    def test_cnfet_beats_cmos(self):
+        comparison = compare_fo4(_calibrated_cnfet_inverter(), cmos_inverter())
+        assert comparison.delay_gain > 3.0
+        assert comparison.energy_gain > 1.5
+        assert comparison.edp_gain > 6.0
+
+    def test_invalid_supply_rejected(self):
+        with pytest.raises(SimulationError):
+            fo4_metrics(cmos_inverter(), vdd=0.0)
+
+    @given(st.floats(min_value=0.8, max_value=1.2))
+    def test_energy_scales_with_vdd_squared(self, vdd):
+        inverter = cmos_inverter()
+        base = fo4_metrics(inverter, vdd=1.0).energy_per_cycle_j
+        scaled = fo4_metrics(inverter, vdd=vdd).energy_per_cycle_j
+        assert scaled == pytest.approx(base * vdd * vdd, rel=1e-9)
+
+
+class TestSources:
+    def test_pwl_interpolation(self):
+        source = PiecewiseLinearSource([(0.0, 0.0), (1.0, 1.0), (2.0, 1.0)])
+        assert source.value(-1.0) == 0.0
+        assert source.value(0.5) == pytest.approx(0.5)
+        assert source.value(5.0) == 1.0
+
+    def test_pwl_ordering_enforced(self):
+        with pytest.raises(SimulationError):
+            PiecewiseLinearSource([(1.0, 0.0), (0.5, 1.0)])
+
+    def test_step_and_pulse_shapes(self):
+        step = step_source(1.0, delay=1e-12, rise_time=1e-13)
+        assert step.value(0.0) == 0.0
+        assert step.value(2e-12) == pytest.approx(1.0)
+        pulse = pulse_source(1.0, delay=1e-12, rise_time=1e-13, width=5e-12)
+        assert pulse.value(3e-12) == pytest.approx(1.0)
+        assert pulse.value(1e-9) == pytest.approx(0.0)
+
+
+class TestTransistorNetlist:
+    def test_chain_construction(self):
+        netlist = build_inverter_chain(cmos_inverter(), stages=3, fanout=4, vdd=1.0)
+        assert len(netlist) == 6
+        assert netlist.inputs == ["in"]
+        assert "n3" in netlist.outputs
+        assert len(netlist.capacitors) == 3
+
+    def test_duplicate_transistor_rejected(self):
+        netlist = TransistorNetlist("t", vdd=1.0)
+        inverter = cmos_inverter()
+        netlist.add_transistor("M1", inverter.pull_down, "a", "y", "gnd")
+        with pytest.raises(NetlistError):
+            netlist.add_transistor("M1", inverter.pull_up, "a", "y", "vdd")
+
+    def test_node_capacitance_accounts_for_devices(self):
+        netlist = build_inverter_chain(cmos_inverter(), stages=2, fanout=4, vdd=1.0)
+        assert netlist.node_capacitance("n1") > 0
+
+    def test_spice_export_mentions_devices(self):
+        cnfet_chain = build_inverter_chain(_calibrated_cnfet_inverter(), 2, 4, 1.0)
+        text = write_spice(cnfet_chain, title="chain")
+        assert "ncnfet" in text
+        assert ".end" in text
+        cmos_chain = build_inverter_chain(cmos_inverter(), 2, 4, 1.0)
+        text = write_spice(cmos_chain)
+        assert "nmos65" in text and "pmos65" in text
+
+
+class TestTransientSimulation:
+    def test_inverter_switches(self):
+        inverter = cmos_inverter()
+        netlist = build_inverter_chain(inverter, stages=1, fanout=1, vdd=1.0)
+        source = step_source(1.0, delay=5e-12, rise_time=1e-12)
+        sim = TransientSimulator(netlist, {"in": source},
+                                 initial_conditions={"n1": 1.0})
+        result = sim.run(stop_time=100e-12, time_step=0.5e-12)
+        final = result.voltage("n1")[-1]
+        assert final < 0.1
+
+    def test_missing_source_rejected(self):
+        netlist = build_inverter_chain(cmos_inverter(), stages=1, fanout=1, vdd=1.0)
+        with pytest.raises(SimulationError):
+            TransientSimulator(netlist, {})
+
+    def test_transient_fo4_close_to_analytical(self):
+        inverter = _calibrated_cnfet_inverter()
+        analytic = fo4_metrics(inverter)
+        transient = fo4_metrics_transient(inverter)
+        assert transient.delay_s == pytest.approx(analytic.delay_s, rel=0.45)
+        assert transient.energy_per_cycle_j == pytest.approx(
+            analytic.energy_per_cycle_j, rel=0.45
+        )
+
+    def test_transient_gain_ratio_matches_paper_direction(self):
+        cnfet = fo4_metrics_transient(_calibrated_cnfet_inverter())
+        cmos = fo4_metrics_transient(cmos_inverter())
+        assert cmos.delay_s / cnfet.delay_s > 3.0
+
+
+class TestGateNetlist:
+    def _simple_netlist(self):
+        netlist = GateNetlist("pair")
+        netlist.add_gate("g1", "NAND2", {"A": "a", "B": "b", "out": "n1"})
+        netlist.add_gate("g2", "INV", {"A": "n1", "out": "y"})
+        netlist.declare_io(["a", "b"], ["y"])
+        return netlist
+
+    def test_validation_passes(self):
+        self._simple_netlist().validate()
+
+    def test_topological_order(self):
+        order = [g.name for g in self._simple_netlist().topological_order()]
+        assert order.index("g1") < order.index("g2")
+
+    def test_undriven_output_rejected(self):
+        netlist = GateNetlist("bad")
+        netlist.add_gate("g1", "INV", {"A": "a", "out": "n1"})
+        netlist.declare_io(["a"], ["missing"])
+        with pytest.raises(NetlistError):
+            netlist.validate()
+
+    def test_multiple_drivers_rejected(self):
+        netlist = GateNetlist("bad")
+        netlist.add_gate("g1", "INV", {"A": "a", "out": "y"})
+        netlist.add_gate("g2", "INV", {"A": "b", "out": "y"})
+        netlist.declare_io(["a", "b"], ["y"])
+        with pytest.raises(NetlistError):
+            netlist.drivers()
+
+    def test_combinational_loop_detected(self):
+        netlist = GateNetlist("loop")
+        netlist.add_gate("g1", "INV", {"A": "y", "out": "n1"})
+        netlist.add_gate("g2", "INV", {"A": "n1", "out": "y"})
+        netlist.declare_io([], ["y"])
+        with pytest.raises(NetlistError):
+            netlist.topological_order()
+
+    def test_gate_without_output_rejected(self):
+        with pytest.raises(NetlistError):
+            GateNetlist("bad").add_gate("g1", "INV", {"A": "a", "Y": "y"})
+
+
+class TestLogicalEffortAnalysis:
+    def _library(self):
+        library = TimingLibrary("unit", vdd=1.0)
+        library.add(CellTimingModel("INV", 1.0, 1e-15, 1e4, 0.5e-15))
+        library.add(CellTimingModel("NAND2", 1.0, 1.5e-15, 1.2e4, 0.8e-15))
+        return library
+
+    def test_path_delay_accumulates(self):
+        netlist = GateNetlist("pair")
+        netlist.add_gate("g1", "NAND2", {"A": "a", "B": "b", "out": "n1"})
+        netlist.add_gate("g2", "INV", {"A": "n1", "out": "y"})
+        netlist.declare_io(["a", "b"], ["y"])
+        result = analyse_netlist(netlist, self._library(), output_load=2e-15)
+        expected_stage1 = 1.2e4 * (0.8e-15 + 1e-15)
+        expected_stage2 = 1e4 * (0.5e-15 + 2e-15)
+        assert result.critical_path_delay == pytest.approx(expected_stage1 + expected_stage2)
+        assert result.critical_path == ("g1", "g2")
+        assert result.total_energy_per_cycle > 0
+
+    def test_drive_strength_interpolation(self):
+        library = self._library()
+        model = library.lookup("INV", 4.0)
+        assert model.drive_resistance == pytest.approx(1e4 / 4.0)
+        assert model.input_capacitance == pytest.approx(4e-15)
+
+    def test_unknown_cell_rejected(self):
+        with pytest.raises(Exception):
+            self._library().lookup("XOR2")
+
+
+class TestExtraction:
+    def test_extraction_of_generated_cell(self):
+        from repro.core import assemble_cell
+        from repro.logic import standard_gate
+
+        cell = assemble_cell(standard_gate("NAND2"))
+        report = ParasiticExtractor().extract(cell.cell)
+        assert report.total_capacitance > 0
+        assert report.capacitance("out") > 0
+        assert report.resistance("out") > 0
+
+    def test_wire_estimates_scale_with_length(self):
+        extractor = ParasiticExtractor()
+        assert extractor.wire_capacitance(100.0) > extractor.wire_capacitance(10.0)
+        assert extractor.wire_resistance(100.0) > extractor.wire_resistance(10.0)
+        with pytest.raises(NetlistError):
+            extractor.wire_capacitance(-1.0)

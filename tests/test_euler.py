@@ -1,0 +1,145 @@
+"""Tests for the Euler-path engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EulerPathError
+from repro.euler import (
+    Trail,
+    euler_path_for_network,
+    euler_trails,
+    has_euler_path,
+)
+from repro.logic import Transistor, aoi21, aoi22, aoi31, nand, nor, standard_gate
+
+
+class TestEulerTrails:
+    def test_simple_path(self):
+        edges = [("a", "b", "e1"), ("b", "c", "e2")]
+        trails = euler_trails(edges, preferred_start="a")
+        assert len(trails) == 1
+        assert trails[0].nodes == ("a", "b", "c")
+        assert trails[0].edges == ("e1", "e2")
+
+    def test_euler_circuit_is_single_trail(self):
+        edges = [("a", "b", "e1"), ("b", "c", "e2"), ("c", "a", "e3")]
+        trails = euler_trails(edges)
+        assert len(trails) == 1
+        assert len(trails[0]) == 3
+
+    def test_multigraph_parallel_edges(self):
+        # NAND3 pull-up network: three parallel edges between vdd and out.
+        edges = [("vdd", "out", f"e{i}") for i in range(3)]
+        assert has_euler_path(edges)
+        trails = euler_trails(edges, preferred_start="vdd", preferred_end="out")
+        assert len(trails) == 1
+        assert trails[0].start == "vdd"
+        assert trails[0].end == "out"
+
+    def test_four_odd_vertices_need_two_trails(self):
+        # K4: every vertex has degree 3, so four odd vertices -> two trails.
+        edges = [
+            ("a", "b", "e1"), ("a", "c", "e2"), ("a", "d", "e3"),
+            ("b", "c", "e4"), ("b", "d", "e5"), ("c", "d", "e6"),
+        ]
+        assert not has_euler_path(edges)
+        trails = euler_trails(edges)
+        assert len(trails) == 2
+        assert sum(len(t) for t in trails) == len(edges)
+        covered = sorted(key for trail in trails for key in trail.edges)
+        assert covered == sorted(key for _, _, key in edges)
+
+    def test_disconnected_graph_rejected(self):
+        edges = [("a", "b", "e1"), ("c", "d", "e2")]
+        assert not has_euler_path(edges)
+        with pytest.raises(EulerPathError):
+            euler_trails(edges)
+
+    def test_empty_edge_list(self):
+        assert euler_trails([]) == []
+        assert has_euler_path([])
+
+    def test_trail_validation(self):
+        with pytest.raises(EulerPathError):
+            Trail(("a", "b"), ())
+
+    def test_trail_reversal(self):
+        trail = Trail(("a", "b", "c"), ("e1", "e2"))
+        back = trail.reversed()
+        assert back.nodes == ("c", "b", "a")
+        assert back.edges == ("e2", "e1")
+
+    @given(st.integers(min_value=1, max_value=8))
+    def test_parallel_multigraph_always_has_path(self, count):
+        edges = [("p", "q", f"e{i}") for i in range(count)]
+        trails = euler_trails(edges)
+        covered = [key for trail in trails for key in trail.edges]
+        assert sorted(covered) == sorted(f"e{i}" for i in range(count))
+        # With two nodes the trail count is 1 for any multiplicity: either an
+        # Euler path (odd count) or an Euler circuit (even count).
+        assert len(trails) == 1
+
+
+class TestNetworkLinearization:
+    @pytest.mark.parametrize(
+        "gate_factory",
+        [lambda: nand(2), lambda: nand(3), lambda: nor(2), lambda: nor(3),
+         aoi21, aoi22, aoi31],
+    )
+    def test_standard_cells_linearise_in_one_trail(self, gate_factory):
+        gate = gate_factory()
+        for network in (gate.pun, gate.pdn):
+            linear = euler_path_for_network(network)
+            assert linear.is_single_trail
+            assert linear.gate_count == len(network)
+            assert not linear.breaks
+
+    def test_chain_alternates_contacts_and_gates(self):
+        gate = nand(3)
+        linear = euler_path_for_network(gate.pun)
+        kinds = [
+            "gate" if isinstance(element, Transistor) else "contact"
+            for element in linear.elements
+        ]
+        assert kinds[0] == "contact"
+        assert kinds[-1] == "contact"
+        for first, second in zip(kinds, kinds[1:]):
+            assert first != second
+
+    def test_nand3_pun_has_redundant_contacts(self):
+        gate = nand(3)
+        linear = euler_path_for_network(gate.pun)
+        nets = linear.contact_nets()
+        assert nets.count("vdd") == 2
+        assert nets.count("out") == 2
+        assert linear.contact_count == 4
+
+    def test_nand3_pdn_is_a_simple_series_walk(self):
+        gate = nand(3)
+        linear = euler_path_for_network(gate.pdn)
+        nets = linear.contact_nets()
+        assert nets[0] in ("gnd", "out")
+        assert nets[-1] in ("gnd", "out")
+        assert linear.gate_count == 3
+
+    def test_every_transistor_sits_between_its_own_nets(self):
+        gate = aoi31()
+        for network in (gate.pun, gate.pdn):
+            linear = euler_path_for_network(network)
+            elements = linear.elements
+            for index, element in enumerate(elements):
+                if isinstance(element, Transistor):
+                    left, right = elements[index - 1], elements[index + 1]
+                    assert {left, right} == set(element.terminals)
+
+    def test_orientation_prefers_rail_to_output(self):
+        gate = nand(2)
+        linear = euler_path_for_network(gate.pun)
+        nets = linear.contact_nets()
+        assert nets[0] == "vdd"
+
+    def test_empty_network_rejected(self):
+        from repro.logic.network import TransistorNetwork
+
+        with pytest.raises(EulerPathError):
+            euler_path_for_network(TransistorNetwork("nfet", "gnd"))

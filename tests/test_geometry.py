@@ -1,0 +1,269 @@
+"""Tests for repro.geometry: primitives, transforms, layout DB and GDSII."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GDSError, GeometryError
+from repro.geometry import (
+    GDSWriter,
+    GDSWriterOptions,
+    Layout,
+    LayoutCell,
+    Orientation,
+    Point,
+    Polygon,
+    Rect,
+    Transform,
+    bounding_box,
+    read_gds_summary,
+    total_area,
+)
+
+finite = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, width=32)
+positive = st.floats(min_value=0.5, max_value=100.0, allow_nan=False, width=32)
+
+
+class TestPoint:
+    def test_translate_and_distance(self):
+        p = Point(1.0, 2.0).translated(3.0, -2.0)
+        assert p == Point(4.0, 0.0)
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_rotation_quarters(self):
+        assert Point(1.0, 0.0).rotated90() == Point(0.0, 1.0)
+        assert Point(1.0, 0.0).rotated90(4) == Point(1.0, 0.0)
+
+
+class TestRect:
+    def test_normalisation(self):
+        rect = Rect(5.0, 6.0, 1.0, 2.0)
+        assert (rect.x1, rect.y1, rect.x2, rect.y2) == (1.0, 2.0, 5.0, 6.0)
+
+    def test_area_and_center(self):
+        rect = Rect.from_size(0, 0, 4, 3)
+        assert rect.area == pytest.approx(12.0)
+        assert rect.center == Point(2.0, 1.5)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect.from_size(0, 0, -1, 2)
+
+    def test_intersection_and_union(self):
+        a = Rect(0, 0, 4, 4)
+        b = Rect(2, 2, 6, 6)
+        overlap = a.intersection(b)
+        assert overlap == Rect(2, 2, 4, 4)
+        assert a.union_bbox(b) == Rect(0, 0, 6, 6)
+        assert a.intersection(Rect(10, 10, 12, 12)) is None
+
+    def test_touching_rects_do_not_strictly_intersect(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(2, 0, 4, 2)
+        assert not a.intersects(b, strict=True)
+        assert a.intersects(b, strict=False)
+        assert a.distance_to(b) == pytest.approx(0.0)
+
+    def test_distance_between_separated_rects(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(4, 4, 5, 5)
+        assert a.distance_to(b) == pytest.approx(math.hypot(3, 3))
+
+    def test_contains(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(1, 1, 9, 9))
+        assert not outer.contains_rect(Rect(5, 5, 11, 9))
+        assert outer.contains_point(Point(0, 0))
+        assert not outer.contains_point(Point(0, 0), strict=True)
+
+    def test_expand_shrink(self):
+        rect = Rect(0, 0, 10, 10)
+        assert rect.expanded(2) == Rect(-2, -2, 12, 12)
+        with pytest.raises(GeometryError):
+            rect.expanded(-6)
+
+    @given(finite, finite, positive, positive, finite, finite)
+    def test_translation_preserves_area(self, x, y, w, h, dx, dy):
+        rect = Rect.from_size(x, y, w, h)
+        assert rect.translated(dx, dy).area == pytest.approx(rect.area, rel=1e-6)
+
+    @given(finite, finite, positive, positive)
+    def test_intersection_is_contained_in_both(self, x, y, w, h):
+        a = Rect.from_size(x, y, w, h)
+        b = Rect.from_size(x + w / 2, y + h / 2, w, h)
+        overlap = a.intersection(b)
+        assert overlap is not None
+        assert a.contains_rect(overlap)
+        assert b.contains_rect(overlap)
+
+
+class TestAreaHelpers:
+    def test_bounding_box(self):
+        rects = [Rect(0, 0, 1, 1), Rect(5, 5, 6, 7)]
+        assert bounding_box(rects) == Rect(0, 0, 6, 7)
+        assert bounding_box([]) is None
+
+    def test_total_area_counts_overlap_once(self):
+        rects = [Rect(0, 0, 4, 4), Rect(2, 0, 6, 4)]
+        assert total_area(rects) == pytest.approx(24.0)
+
+    def test_total_area_disjoint(self):
+        rects = [Rect(0, 0, 2, 2), Rect(10, 10, 12, 12)]
+        assert total_area(rects) == pytest.approx(8.0)
+
+    @given(st.lists(st.tuples(finite, finite, positive, positive), min_size=1, max_size=6))
+    def test_total_area_bounds(self, specs):
+        rects = [Rect.from_size(x, y, w, h) for x, y, w, h in specs]
+        union = total_area(rects)
+        total = sum(r.area for r in rects)
+        box = bounding_box(rects)
+        assert union <= total + 1e-6
+        assert union <= box.area + 1e-6
+        assert union >= max(r.area for r in rects) - 1e-6
+
+
+class TestPolygon:
+    def test_from_rect_area(self):
+        poly = Polygon.from_rect(Rect(0, 0, 3, 2))
+        assert poly.area == pytest.approx(6.0)
+        assert poly.bbox() == Rect(0, 0, 3, 2)
+
+    def test_point_containment(self):
+        poly = Polygon.from_rect(Rect(0, 0, 4, 4))
+        assert poly.contains_point(Point(2, 2))
+        assert not poly.contains_point(Point(5, 5))
+
+    def test_too_few_vertices(self):
+        with pytest.raises(GeometryError):
+            Polygon((Point(0, 0), Point(1, 1)))
+
+
+class TestTransform:
+    def test_r90_rotation(self):
+        transform = Transform(orientation=Orientation.R90)
+        assert transform.apply_point(Point(1.0, 0.0)) == Point(0.0, 1.0)
+
+    def test_mirror_then_rotate_swaps_axes(self):
+        transform = Transform(orientation=Orientation.MXR90)
+        assert transform.apply_point(Point(2.0, 3.0)) == Point(3.0, 2.0)
+
+    def test_rect_stays_axis_aligned(self):
+        transform = Transform(dx=10.0, dy=0.0, orientation=Orientation.R90)
+        rect = transform.apply_rect(Rect(0, 0, 2, 1))
+        assert rect.width == pytest.approx(1.0)
+        assert rect.height == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("orientation", list(Orientation))
+    def test_composition_matches_sequential_application(self, orientation):
+        outer = Transform(dx=3.0, dy=-2.0, orientation=orientation)
+        inner = Transform(dx=1.0, dy=5.0, orientation=Orientation.R90)
+        composed = outer.compose(inner)
+        for point in (Point(0, 0), Point(1, 0), Point(2.5, -1.5)):
+            expected = outer.apply_point(inner.apply_point(point))
+            got = composed.apply_point(point)
+            assert got.x == pytest.approx(expected.x, abs=1e-9)
+            assert got.y == pytest.approx(expected.y, abs=1e-9)
+
+
+class TestLayoutCell:
+    def test_add_shapes_and_area(self):
+        cell = LayoutCell("test")
+        cell.add_rect("metal1", Rect(0, 0, 4, 2))
+        cell.add_rect("metal1", Rect(2, 0, 6, 2))
+        assert cell.area("metal1") == pytest.approx(12.0)
+        assert cell.layers() == ["metal1"]
+
+    def test_degenerate_rect_rejected(self):
+        cell = LayoutCell("test")
+        with pytest.raises(GeometryError):
+            cell.add_rect("metal1", Rect(0, 0, 0, 5))
+
+    def test_boundary_prefers_boundary_layer(self):
+        cell = LayoutCell("test")
+        cell.add_rect("metal1", Rect(0, 0, 2, 2))
+        cell.add_rect("boundary", Rect(0, 0, 10, 10))
+        assert cell.boundary() == Rect(0, 0, 10, 10)
+        assert cell.area() == pytest.approx(100.0)
+
+    def test_pin_lookup(self):
+        cell = LayoutCell("test")
+        cell.add_pin("A", Rect(0, 0, 1, 1), "pin", direction="input")
+        assert cell.pin("A").direction == "input"
+        with pytest.raises(Exception):
+            cell.pin("missing")
+
+    def test_empty_cell_has_no_boundary(self):
+        with pytest.raises(Exception):
+            LayoutCell("empty").boundary()
+
+
+class TestLayoutHierarchy:
+    def _two_level_layout(self):
+        layout = Layout("design")
+        child = layout.new_cell("child")
+        child.add_rect("metal1", Rect(0, 0, 2, 2))
+        child.add_pin("A", Rect(0, 0, 1, 1), "pin")
+        top = layout.new_cell("top", top=True)
+        top.add_instance("child", "u1", dx=10.0, dy=0.0)
+        top.add_instance("child", "u2", dx=0.0, dy=10.0, orientation=Orientation.R90)
+        return layout
+
+    def test_duplicate_cell_rejected(self):
+        layout = Layout("design")
+        layout.new_cell("a")
+        with pytest.raises(GeometryError):
+            layout.new_cell("a")
+
+    def test_flatten_counts_shapes(self):
+        layout = self._two_level_layout()
+        flat = layout.flatten()
+        assert len(flat.shapes("metal1")) == 2
+        assert len([p for p in flat.pins if p.name == "A"]) == 2
+        shifted = [r for r in flat.shapes("metal1") if r.x1 >= 10.0]
+        assert len(shifted) == 1
+
+    def test_unknown_cell_lookup(self):
+        layout = Layout("design")
+        layout.new_cell("only")
+        with pytest.raises(GeometryError):
+            layout.cell("missing")
+
+
+class TestGDSRoundTrip:
+    def test_writer_round_trip(self, tmp_path):
+        layout = Layout("testlib")
+        child = layout.new_cell("leaf")
+        child.add_rect("metal1", Rect(0, 0, 4, 2))
+        child.add_label("net1", Point(1, 1), "metal1")
+        top = layout.new_cell("top", top=True)
+        top.add_rect("poly", Rect(0, 0, 2, 10))
+        top.add_instance("leaf", "u1", dx=5.0, dy=5.0, orientation=Orientation.MX)
+
+        from repro.tech import cnfet_layer_stack
+
+        writer = GDSWriter(cnfet_layer_stack(), GDSWriterOptions(unit_nm=32.5))
+        path = tmp_path / "out.gds"
+        writer.write(layout, str(path))
+        data = path.read_bytes()
+        assert data[:4] != b""
+
+        summary = read_gds_summary(data)
+        assert set(summary) == {"leaf", "top"}
+        assert summary["leaf"].boundary_count == 1
+        assert summary["leaf"].text_count == 1
+        assert summary["top"].sref_count == 1
+        assert summary["top"].boundary_count == 1
+
+    def test_empty_layout_rejected(self):
+        writer = GDSWriter()
+        with pytest.raises(GDSError):
+            writer.to_bytes(Layout("empty"))
+
+    def test_unknown_layer_gets_default_number(self):
+        layout = Layout("lib")
+        cell = layout.new_cell("c", top=True)
+        cell.add_rect("mystery_layer", Rect(0, 0, 1, 1))
+        writer = GDSWriter(options=GDSWriterOptions(default_layer=77))
+        summary = read_gds_summary(writer.to_bytes(layout))
+        assert summary["c"].layers == (77,)

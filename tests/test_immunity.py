@@ -1,0 +1,231 @@
+"""Tests for the mispositioned-CNT immunity analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import assemble_cell, get_annotations
+from repro.errors import ImmunityAnalysisError
+from repro.geometry import Point, Rect
+from repro.immunity import (
+    CNTInstance,
+    ImmunityChecker,
+    compare_techniques,
+    nominal_cnts,
+    random_mispositioned_cnts,
+    run_immunity_trials,
+)
+from repro.logic import standard_gate
+
+
+class TestCNTInstance:
+    def test_interval_of_vertical_tube_through_rect(self):
+        cnt = CNTInstance(Point(1.0, 0.0), Point(1.0, 10.0))
+        interval = cnt.intersection_interval(Rect(0, 4, 2, 6))
+        assert interval == pytest.approx((0.4, 0.6))
+
+    def test_interval_missing_rect(self):
+        cnt = CNTInstance(Point(1.0, 0.0), Point(1.0, 10.0))
+        assert cnt.intersection_interval(Rect(5, 0, 6, 10)) is None
+
+    def test_diagonal_tube(self):
+        cnt = CNTInstance(Point(0.0, 0.0), Point(10.0, 10.0))
+        interval = cnt.intersection_interval(Rect(4, 0, 6, 10))
+        assert interval == pytest.approx((0.4, 0.6))
+
+    def test_length_and_points(self):
+        cnt = CNTInstance(Point(0, 0), Point(3, 4))
+        assert cnt.length == pytest.approx(5.0)
+        mid = cnt.point_at(0.5)
+        assert (mid.x, mid.y) == (1.5, 2.0)
+
+
+class TestNominalPopulation:
+    def test_nominal_cnts_reproduce_cell_function(self):
+        for name in ("INV", "NAND2", "NAND3", "NOR2", "AOI21"):
+            gate = standard_gate(name)
+            cell = assemble_cell(gate, technique="compact", scheme=1)
+            checker = ImmunityChecker(cell.annotations())
+            nominal = nominal_cnts(cell.annotations(), pitch=1.0, axis="x")
+            table = checker.truth_table(nominal)
+            assert table.equivalent_to(gate.expected_truth_table()), name
+
+    def test_nominal_cnts_in_vulnerable_layout_also_work(self):
+        gate = standard_gate("NAND2")
+        cell = assemble_cell(gate, technique="vulnerable", scheme=1)
+        checker = ImmunityChecker(cell.annotations())
+        nominal = nominal_cnts(cell.annotations(), axis="x")
+        assert checker.truth_table(nominal).equivalent_to(gate.expected_truth_table())
+
+    def test_nominal_generation_requires_gates(self):
+        from repro.core.spec import CellAnnotations
+
+        with pytest.raises(ImmunityAnalysisError):
+            nominal_cnts(CellAnnotations(cell_name="empty"), axis="y")
+
+    def test_invalid_pitch_rejected(self):
+        gate = standard_gate("INV")
+        cell = assemble_cell(gate)
+        with pytest.raises(ImmunityAnalysisError):
+            nominal_cnts(cell.annotations(), pitch=0.0)
+
+
+class TestMispositionedGeneration:
+    def test_reproducible_with_seed(self):
+        cell = assemble_cell(standard_gate("NAND2"))
+        annotations = cell.annotations()
+        first = random_mispositioned_cnts(annotations, 5, np.random.default_rng(7), axis="x")
+        second = random_mispositioned_cnts(annotations, 5, np.random.default_rng(7), axis="x")
+        assert [(c.start, c.end) for c in first] == [(c.start, c.end) for c in second]
+
+    def test_tubes_span_the_cell(self):
+        cell = assemble_cell(standard_gate("NAND2"))
+        annotations = cell.annotations()
+        tubes = random_mispositioned_cnts(annotations, 3, np.random.default_rng(1), axis="x")
+        extent = cell.cell.boundary()
+        for tube in tubes:
+            assert tube.mispositioned
+            assert tube.length > extent.width
+
+    def test_negative_count_rejected(self):
+        cell = assemble_cell(standard_gate("INV"))
+        with pytest.raises(ImmunityAnalysisError):
+            random_mispositioned_cnts(cell.annotations(), -1, np.random.default_rng(0))
+
+
+class TestImmunityChecker:
+    def test_vulnerable_nand2_fails_with_a_bridging_tube(self):
+        gate = standard_gate("NAND2")
+        cell = assemble_cell(gate, technique="vulnerable", scheme=1)
+        annotations = cell.annotations()
+        checker = ImmunityChecker(annotations)
+        nominal = nominal_cnts(annotations, axis="x")
+        # Build a tube that runs through the pull-up strip in the gap
+        # between the two gate columns, connecting vdd directly to out.
+        pun_active = next(a for a in annotations.actives if a.doping == "p")
+        gate_rects = [g.rect for g in annotations.gates if g.device == "pfet"]
+        gate_rects.sort(key=lambda r: r.x1)
+        gap_x = (gate_rects[0].x2 + gate_rects[1].x1) / 2.0
+        mid_y = (pun_active.rect.y1 + pun_active.rect.y2) / 2.0
+        bridging = CNTInstance(
+            Point(pun_active.rect.x1 - 1.0, mid_y),
+            Point(pun_active.rect.x2 + 1.0, mid_y),
+            mispositioned=True,
+        )
+        report = checker.check(nominal, [bridging], expected=gate.expected_truth_table())
+        assert not report.immune
+        assert report.failure_count > 0
+
+    def test_compact_nand2_survives_the_same_attack(self):
+        gate = standard_gate("NAND2")
+        cell = assemble_cell(gate, technique="compact", scheme=1)
+        annotations = cell.annotations()
+        checker = ImmunityChecker(annotations)
+        nominal = nominal_cnts(annotations, axis="x")
+        extent = cell.cell.boundary()
+        horizontal = CNTInstance(
+            Point(extent.x1 - 1.0, extent.center.y),
+            Point(extent.x2 + 1.0, extent.center.y),
+            mispositioned=True,
+        )
+        report = checker.check(nominal, [horizontal], expected=gate.expected_truth_table())
+        assert report.immune
+
+    def test_checker_requires_contacts(self):
+        from repro.core.spec import CellAnnotations
+
+        with pytest.raises(ImmunityAnalysisError):
+            ImmunityChecker(CellAnnotations(cell_name="empty"))
+
+
+class TestMonteCarlo:
+    def test_figure2_comparison(self):
+        results = compare_techniques("NAND2", trials=60, cnts_per_trial=4, seed=11)
+        assert results["compact"].immune
+        assert results["baseline"].immune
+        assert not results["vulnerable"].immune
+        assert results["vulnerable"].failure_rate > 0.05
+
+    def test_compact_cells_are_fully_immune(self):
+        for name in ("NAND3", "NOR2", "AOI21"):
+            cell = assemble_cell(standard_gate(name), technique="compact", scheme=1)
+            result = run_immunity_trials(cell, trials=40, cnts_per_trial=5, seed=3)
+            assert result.immune, name
+            assert result.failure_rate == 0.0
+
+    def test_scheme2_compact_cells_are_also_immune(self):
+        cell = assemble_cell(standard_gate("NAND2"), technique="compact", scheme=2)
+        result = run_immunity_trials(cell, trials=40, cnts_per_trial=5, seed=5)
+        assert result.immune
+
+    def test_result_accounting(self):
+        cell = assemble_cell(standard_gate("INV"), technique="compact")
+        result = run_immunity_trials(cell, trials=10, cnts_per_trial=2, seed=1)
+        assert result.trials == 10
+        assert result.cnts_per_trial == 2
+        assert 0.0 <= result.failure_rate <= 1.0
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_compact_nand2_immune_for_any_seed(self, seed):
+        cell = assemble_cell(standard_gate("NAND2"), technique="compact", scheme=1)
+        result = run_immunity_trials(cell, trials=15, cnts_per_trial=6, seed=seed)
+        assert result.immune
+
+
+class TestMetallicCNTExtension:
+    """The paper assumes metallic CNTs are removed during processing
+    (Section II); the checker exposes a hook to stress-test that assumption."""
+
+    def test_metallic_tube_ignores_gates(self):
+        gate = standard_gate("INV")
+        cell = assemble_cell(gate, technique="compact", scheme=1)
+        annotations = cell.annotations()
+        checker = ImmunityChecker(annotations)
+        nominal = nominal_cnts(annotations, axis="x")
+        pun_active = next(a for a in annotations.actives if a.doping == "p")
+        mid_y = (pun_active.rect.y1 + pun_active.rect.y2) / 2.0
+        metallic = CNTInstance(
+            Point(pun_active.rect.x1 - 1.0, mid_y),
+            Point(pun_active.rect.x2 + 1.0, mid_y),
+            mispositioned=True,
+            metallic=True,
+        )
+        report = checker.check(nominal, [metallic], expected=gate.expected_truth_table())
+        # A metallic tube across the pull-up strip shorts Vdd to the output
+        # no matter what the gates do, so even the immune layout fails.
+        assert not report.immune
+
+    def test_semiconducting_twin_of_same_tube_is_harmless(self):
+        gate = standard_gate("INV")
+        cell = assemble_cell(gate, technique="compact", scheme=1)
+        annotations = cell.annotations()
+        checker = ImmunityChecker(annotations)
+        nominal = nominal_cnts(annotations, axis="x")
+        pun_active = next(a for a in annotations.actives if a.doping == "p")
+        mid_y = (pun_active.rect.y1 + pun_active.rect.y2) / 2.0
+        semiconducting = CNTInstance(
+            Point(pun_active.rect.x1 - 1.0, mid_y),
+            Point(pun_active.rect.x2 + 1.0, mid_y),
+            mispositioned=True,
+            metallic=False,
+        )
+        report = checker.check(nominal, [semiconducting],
+                               expected=gate.expected_truth_table())
+        assert report.immune
+
+    def test_metallic_fraction_breaks_even_immune_layouts(self):
+        cell = assemble_cell(standard_gate("NAND2"), technique="compact", scheme=1)
+        clean = run_immunity_trials(cell, trials=40, cnts_per_trial=4, seed=9,
+                                    metallic_fraction=0.0)
+        dirty = run_immunity_trials(cell, trials=40, cnts_per_trial=4, seed=9,
+                                    metallic_fraction=0.5)
+        assert clean.immune
+        assert dirty.failure_rate > clean.failure_rate
+
+    def test_metallic_fraction_validation(self):
+        cell = assemble_cell(standard_gate("INV"))
+        with pytest.raises(ImmunityAnalysisError):
+            random_mispositioned_cnts(cell.annotations(), 2,
+                                      np.random.default_rng(0),
+                                      metallic_fraction=1.5)

@@ -1,0 +1,224 @@
+"""Tests for repro.logic: expressions, truth tables, transistor networks."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ExpressionParseError, LogicError, NetworkError
+from repro.logic import (
+    GateNetworks,
+    SPLeaf,
+    SPParallel,
+    SPSeries,
+    TruthTable,
+    all_standard_gates,
+    and_,
+    aoi21,
+    aoi31,
+    expressions_equivalent,
+    from_pulldown,
+    inverter,
+    nand,
+    nor,
+    not_,
+    oai22,
+    or_,
+    parse_expression,
+    sp_from_expression,
+    standard_gate,
+    var,
+)
+
+
+class TestExpressions:
+    def test_parse_and_str_round_trip(self):
+        expr = parse_expression("(A*B + C)'")
+        again = parse_expression(str(expr))
+        assert expressions_equivalent(expr, again)
+
+    @pytest.mark.parametrize(
+        "text,assignment,expected",
+        [
+            ("A*B", {"A": True, "B": True}, True),
+            ("A*B", {"A": True, "B": False}, False),
+            ("A + B", {"A": False, "B": True}, True),
+            ("!(A&B|C)", {"A": True, "B": True, "C": False}, False),
+            ("(A*B+C)'", {"A": False, "B": False, "C": False}, True),
+            ("A B + C", {"A": True, "B": True, "C": False}, True),  # implicit AND
+            ("A''", {"A": True}, True),
+        ],
+    )
+    def test_evaluation(self, text, assignment, expected):
+        assert parse_expression(text).evaluate(assignment) is expected
+
+    def test_parse_errors_point_at_location(self):
+        with pytest.raises(ExpressionParseError):
+            parse_expression("A + ")
+        with pytest.raises(ExpressionParseError):
+            parse_expression("(A + B")
+        with pytest.raises(ExpressionParseError):
+            parse_expression("A ) B")
+
+    def test_constant_folding(self):
+        assert str(and_(var("A"), True)) == "A"
+        assert and_(var("A"), False).evaluate({"A": True}) is False
+        assert or_(var("A"), True).evaluate({"A": False}) is True
+        assert str(not_(not_(var("A")))) == "A"
+
+    def test_operator_overloads(self):
+        expr = (var("A") & var("B")) | ~var("C")
+        assert expr.evaluate({"A": False, "B": False, "C": False}) is True
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(LogicError):
+            parse_expression("A*B").evaluate({"A": True})
+
+    def test_invalid_variable_name(self):
+        with pytest.raises(LogicError):
+            var("2bad")
+
+    @given(st.tuples(st.booleans(), st.booleans(), st.booleans()))
+    def test_de_morgan_property(self, bits):
+        a, b, c = bits
+        assignment = {"A": a, "B": b, "C": c}
+        lhs = parse_expression("!(A*B*C)")
+        rhs = parse_expression("!A + !B + !C")
+        assert lhs.evaluate(assignment) == rhs.evaluate(assignment)
+
+
+class TestTruthTable:
+    def test_from_expression(self):
+        table = TruthTable.from_expression(parse_expression("A*B"))
+        assert table.inputs == ("A", "B")
+        assert table.outputs == (False, False, False, True)
+
+    def test_equivalence_ignores_input_order(self):
+        left = TruthTable.from_expression(parse_expression("A*B"), inputs=["A", "B"])
+        right = TruthTable.from_expression(parse_expression("A*B"), inputs=["B", "A"])
+        assert left.equivalent_to(right)
+
+    def test_differing_rows(self):
+        nand2 = TruthTable.from_expression(parse_expression("(A*B)'"))
+        and2 = TruthTable.from_expression(parse_expression("A*B"))
+        assert len(nand2.differing_rows(and2)) == 4
+
+    def test_incomplete_table_detection(self):
+        table = TruthTable(("A",), (True, None))
+        assert not table.is_complete()
+
+    def test_row_count_validation(self):
+        with pytest.raises(LogicError):
+            TruthTable(("A", "B"), (True, False))
+
+    def test_format_contains_all_rows(self):
+        table = TruthTable.from_expression(parse_expression("A + B"))
+        text = table.format()
+        assert text.count("\n") >= 5
+        assert "A B | out" in text
+
+
+class TestSeriesParallel:
+    def test_nand_tree_shapes(self):
+        gate = nand(3)
+        assert isinstance(gate.pdn_tree, SPSeries)
+        assert isinstance(gate.pun_tree, SPParallel)
+        assert gate.pdn_tree.leaf_count() == 3
+        assert gate.pun_tree.leaf_count() == 3
+
+    def test_dual_is_involution(self):
+        gate = aoi21()
+        assert str(gate.pun_tree.dual()) == str(gate.pdn_tree)
+
+    def test_negated_expression_rejected(self):
+        with pytest.raises(NetworkError):
+            sp_from_expression(parse_expression("A'*B"))
+
+    def test_conduction_matches_expression(self):
+        expr = parse_expression("A*B + C")
+        tree = sp_from_expression(expr)
+        for bits in itertools.product([False, True], repeat=3):
+            assignment = dict(zip("ABC", bits))
+            assert tree.conducts(assignment, active_high=True) == expr.evaluate(assignment)
+
+    def test_pfet_conduction_is_complement_controlled(self):
+        tree = sp_from_expression(parse_expression("A*B"))
+        assert tree.conducts({"A": False, "B": False}, active_high=False)
+        assert not tree.conducts({"A": True, "B": False}, active_high=False)
+
+
+class TestGateNetworks:
+    @pytest.mark.parametrize("name", sorted(all_standard_gates()))
+    def test_all_standard_gates_are_complementary(self, name):
+        gate = standard_gate(name)
+        assert gate.is_complementary()
+        assert gate.truth_table().equivalent_to(gate.expected_truth_table())
+
+    def test_nand3_structure(self):
+        gate = nand(3)
+        assert len(gate.pdn) == 3
+        assert len(gate.pun) == 3
+        assert gate.pdn.device == "nfet"
+        assert gate.pun.device == "pfet"
+        # Series PDN introduces two internal nodes.
+        assert len(gate.pdn.internal_nets()) == 2
+        assert len(gate.pun.internal_nets()) == 0
+
+    def test_aoi31_matches_figure4_function(self):
+        gate = aoi31()
+        table = gate.truth_table()
+        assert table.row({"A": True, "B": True, "C": True, "D": False}) is False
+        assert table.row({"A": False, "B": True, "C": True, "D": False}) is True
+        assert table.row({"A": False, "B": False, "C": False, "D": True}) is False
+
+    def test_degrees_of_nand3_pun(self):
+        gate = nand(3)
+        assert gate.pun.degree("vdd") == 3
+        assert gate.pun.degree("out") == 3
+
+    def test_custom_gate_from_pulldown(self):
+        gate = from_pulldown("AOI211", "A*B + C + D")
+        assert gate.is_complementary()
+        assert set(gate.inputs) == {"A", "B", "C", "D"}
+
+    def test_transistor_width_override(self):
+        gate = nand(2)
+        widened = gate.pdn.with_widths({"MN1": 3.0})
+        assert widened.transistors[0].width == pytest.approx(3.0)
+        assert widened.transistors[1].width == pytest.approx(1.0)
+
+    def test_invalid_fanin_rejected(self):
+        with pytest.raises(LogicError):
+            nand(1)
+        with pytest.raises(LogicError):
+            nor(0)
+
+    def test_unknown_standard_gate(self):
+        with pytest.raises(LogicError):
+            standard_gate("XNOR9")
+
+    def test_inverter_truth_table(self):
+        gate = inverter()
+        assert gate.output_value({"A": True}) is False
+        assert gate.output_value({"A": False}) is True
+
+    @given(st.integers(min_value=2, max_value=6))
+    def test_nand_transistor_count_property(self, fanin):
+        gate = nand(fanin)
+        assert gate.transistor_count == 2 * fanin
+        assert gate.is_complementary()
+
+    @given(st.integers(min_value=2, max_value=6), st.tuples(*([st.booleans()] * 6)))
+    def test_nor_function_property(self, fanin, bits):
+        gate = nor(fanin)
+        assignment = dict(zip(gate.inputs, bits[:fanin]))
+        expected = not any(assignment.values())
+        assert gate.output_value(assignment) is expected
+
+
+class TestOAIGates:
+    def test_oai22_function(self):
+        gate = oai22()
+        table = gate.truth_table()
+        assert table.row({"A": True, "B": False, "C": False, "D": True}) is False
+        assert table.row({"A": False, "B": False, "C": True, "D": True}) is True

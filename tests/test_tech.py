@@ -1,0 +1,227 @@
+"""Tests for repro.tech: design rules, layers, nodes and DRC."""
+
+import pytest
+
+from repro.errors import DesignRuleError, DRCViolationError, TechnologyError
+from repro.geometry import LayoutCell, Rect
+from repro.tech import (
+    CMOS_RULES,
+    CNFET_RULES,
+    DRCChecker,
+    DesignRules,
+    LayerPurpose,
+    check_cells,
+    cmos65_node,
+    cmos_layer_stack,
+    cnfet65_node,
+    cnfet_layer_stack,
+    rules_by_name,
+)
+
+
+class TestDesignRules:
+    def test_paper_stated_rules(self):
+        # Section III / V: 2 λ gate, 2 λ etch minimum, ~3 λ vias, 6 λ vs 10 λ
+        # PUN-PDN separation.
+        assert CNFET_RULES.gate_length == 2.0
+        assert CNFET_RULES.etch_width == 2.0
+        assert CNFET_RULES.via_size >= 3.0
+        assert CNFET_RULES.pun_pdn_separation == 6.0
+        assert CMOS_RULES.pun_pdn_separation == 10.0
+        assert CNFET_RULES.lambda_nm == pytest.approx(32.5)
+
+    def test_conversions(self):
+        assert CNFET_RULES.to_nm(4.0) == pytest.approx(130.0)
+        assert CNFET_RULES.to_um(4.0) == pytest.approx(0.13)
+        assert CNFET_RULES.area_to_um2(100.0) == pytest.approx(0.105625)
+
+    def test_linear_chain_length(self):
+        # contact-gate-contact for one device.
+        expected = 2 * CNFET_RULES.contact_length + CNFET_RULES.gate_length + \
+            2 * CNFET_RULES.gate_contact_spacing
+        assert CNFET_RULES.linear_chain_length(2, 1) == pytest.approx(expected)
+
+    def test_linear_chain_validation(self):
+        with pytest.raises(DesignRuleError):
+            CNFET_RULES.linear_chain_length(3, 1)
+
+    def test_series_stack_length_grows_with_fanin(self):
+        l2 = CNFET_RULES.series_stack_length(2)
+        l3 = CNFET_RULES.series_stack_length(3)
+        assert l3 > l2
+        with pytest.raises(DesignRuleError):
+            CNFET_RULES.series_stack_length(0)
+
+    def test_invalid_rules_rejected(self):
+        with pytest.raises(DesignRuleError):
+            DesignRules(gate_length=-1.0)
+        with pytest.raises(DesignRuleError):
+            DesignRules(via_size=1.0, gate_length=2.0)
+
+    def test_rules_by_name(self):
+        assert rules_by_name("cnfet65") is CNFET_RULES
+        assert rules_by_name("cmos65") is CMOS_RULES
+        with pytest.raises(DesignRuleError):
+            rules_by_name("cmos7")
+
+    def test_scaled_changes_only_lambda(self):
+        scaled = CNFET_RULES.scaled(45.0)
+        assert scaled.lambda_nm == 45.0
+        assert scaled.gate_length == CNFET_RULES.gate_length
+
+    def test_as_dict_excludes_name(self):
+        table = CNFET_RULES.as_dict()
+        assert "name" not in table
+        assert table["gate_length"] == 2.0
+
+
+class TestLayerStacks:
+    def test_cnfet_stack_has_cnt_and_etch(self):
+        stack = cnfet_layer_stack()
+        assert "cnt" in stack
+        assert "cnt_etch" in stack
+        assert stack.active_layer().name == "cnt"
+        assert len(stack.metals()) == 7
+
+    def test_cmos_stack_has_diffusion(self):
+        stack = cmos_layer_stack()
+        assert stack.active_layer().name == "diffusion"
+        assert "nwell" in stack
+
+    def test_gds_numbers_unique(self):
+        stack = cnfet_layer_stack()
+        numbers = [(l.gds_layer, l.gds_datatype) for l in stack]
+        assert len(numbers) == len(set(numbers))
+
+    def test_lookup_by_gds(self):
+        stack = cnfet_layer_stack()
+        poly = stack["poly"]
+        assert stack.by_gds(poly.gds_layer, poly.gds_datatype) is poly
+        assert stack.by_gds(999) is None
+
+    def test_unknown_layer_raises(self):
+        with pytest.raises(TechnologyError):
+            cnfet_layer_stack()["metal99"]
+
+    def test_names_ordered_by_level(self):
+        names = cnfet_layer_stack().names()
+        assert names.index("cnt") < names.index("poly") < names.index("metal1")
+
+    def test_purpose_query(self):
+        stack = cnfet_layer_stack()
+        doping = stack.by_purpose(LayerPurpose.DOPING)
+        assert {layer.name for layer in doping} == {"pplus", "nplus"}
+
+
+class TestTechnologyNodes:
+    def test_cnfet_node_defaults(self):
+        node = cnfet65_node()
+        assert node.is_cnfet
+        assert node.supply_voltage == 1.0
+        assert node.gate_stack.material == "polysilicon"
+        assert node.oxide_under_cnt_um == 10.0
+        assert node.layer_stack().name == "cnfet65"
+
+    def test_cmos_node_defaults(self):
+        node = cmos65_node()
+        assert not node.is_cnfet
+        assert node.rules.pun_pdn_separation == 10.0
+
+    def test_with_supply(self):
+        node = cnfet65_node().with_supply(0.9)
+        assert node.supply_voltage == 0.9
+
+    def test_gate_stack_capacitance_positive(self):
+        node = cnfet65_node()
+        assert node.gate_stack.capacitance_per_area > 0
+
+    def test_invalid_node_rejected(self):
+        from repro.tech.nodes import GateStack, TechnologyNode
+
+        with pytest.raises(TechnologyError):
+            TechnologyNode(
+                name="bad", feature_size_nm=65, supply_voltage=1.0,
+                gate_stack=GateStack(), rules=CNFET_RULES, is_cnfet=True,
+                oxide_under_cnt_um=None,
+            )
+
+
+class TestDRC:
+    def _clean_cell(self) -> LayoutCell:
+        cell = LayoutCell("clean")
+        cell.add_rect("boundary", Rect(0, 0, 30, 30))
+        cell.add_rect("cnt", Rect(2, 2, 10, 28))
+        cell.add_rect("poly", Rect(1, 12, 11, 14))
+        cell.add_rect("contact", Rect(2, 2, 10, 5))
+        cell.add_rect("metal1", Rect(2, 2, 10, 5))
+        cell.add_rect("contact", Rect(2, 20, 10, 23))
+        cell.add_rect("metal1", Rect(2, 20, 10, 23))
+        return cell
+
+    def test_clean_cell_passes(self):
+        checker = DRCChecker(CNFET_RULES)
+        assert checker.check(self._clean_cell()) == []
+        checker.assert_clean(self._clean_cell())
+
+    def test_narrow_poly_flagged(self):
+        cell = self._clean_cell()
+        cell.add_rect("poly", Rect(1, 25, 11, 26))  # 1λ wide < 2λ
+        violations = DRCChecker(CNFET_RULES).check(cell)
+        assert any(v.rule == "min_width" and v.layer == "poly" for v in violations)
+
+    def test_contact_over_gate_flagged(self):
+        cell = self._clean_cell()
+        cell.add_rect("contact", Rect(3, 12, 9, 14))
+        violations = DRCChecker(CNFET_RULES).check(cell)
+        assert any(v.rule == "no_via_over_gate" for v in violations)
+
+    def test_shape_outside_boundary_flagged(self):
+        cell = self._clean_cell()
+        cell.add_rect("metal1", Rect(28, 28, 40, 33))
+        violations = DRCChecker(CNFET_RULES).check(cell)
+        assert any(v.rule == "inside_boundary" for v in violations)
+
+    def test_poly_endcap_allowed_just_outside_boundary(self):
+        cell = self._clean_cell()
+        cell.add_rect("poly", Rect(-1, 16, 11, 18))  # 1λ endcap over the edge
+        violations = DRCChecker(CNFET_RULES).check(cell)
+        assert not any(v.rule == "inside_boundary" for v in violations)
+
+    def test_etch_over_gate_flagged(self):
+        cell = self._clean_cell()
+        cell.add_rect("cnt_etch", Rect(3, 11, 6, 15))
+        violations = DRCChecker(CNFET_RULES).check(cell)
+        assert any(v.rule == "etch_clear_of_devices" for v in violations)
+
+    def test_metal_spacing_flagged(self):
+        cell = self._clean_cell()
+        cell.add_rect("metal1", Rect(2, 6, 10, 9))   # 1λ below is another metal? gap=1
+        violations = DRCChecker(CNFET_RULES).check(cell)
+        assert any(v.rule == "min_spacing" and v.layer == "metal1" for v in violations)
+
+    def test_assert_clean_raises_with_violations(self):
+        cell = self._clean_cell()
+        cell.add_rect("poly", Rect(1, 25, 11, 26))
+        with pytest.raises(DRCViolationError):
+            DRCChecker(CNFET_RULES).assert_clean(cell)
+
+    def test_check_cells_reports_only_dirty(self):
+        clean = self._clean_cell()
+        dirty = self._clean_cell()
+        dirty.name = "dirty"
+        dirty.add_rect("poly", Rect(1, 25, 11, 26))
+        report = check_cells([clean, dirty], CNFET_RULES)
+        assert list(report) == ["dirty"]
+
+    def test_generated_library_cells_are_drc_clean(self):
+        from repro.core import assemble_cell
+        from repro.logic import standard_gate
+
+        checker = DRCChecker(CNFET_RULES)
+        for name in ("INV", "NAND2", "NAND3", "NOR3", "AOI21", "AOI22", "OAI21"):
+            for technique in ("compact", "baseline"):
+                for scheme in (1, 2):
+                    cell = assemble_cell(
+                        standard_gate(name), technique=technique, scheme=scheme
+                    )
+                    assert checker.check(cell.cell) == [], (name, technique, scheme)

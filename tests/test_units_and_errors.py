@@ -1,0 +1,151 @@
+"""Tests for repro.units and the exception hierarchy."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import errors
+from repro.units import (
+    BOLTZMANN,
+    ELECTRON_CHARGE,
+    Lambda,
+    THERMAL_VOLTAGE_V,
+    edap,
+    edp,
+    format_si,
+    joules_to_femtojoules,
+    nm_to_m,
+    nm_to_um,
+    parse_si,
+    seconds_to_picoseconds,
+    um_to_nm,
+)
+
+
+class TestConstants:
+    def test_thermal_voltage_at_room_temperature(self):
+        assert THERMAL_VOLTAGE_V == pytest.approx(0.02585, rel=1e-3)
+
+    def test_charge_and_boltzmann_are_si(self):
+        assert ELECTRON_CHARGE == pytest.approx(1.602e-19, rel=1e-3)
+        assert BOLTZMANN == pytest.approx(1.381e-23, rel=1e-3)
+
+
+class TestLengthConversions:
+    def test_nm_um_round_trip(self):
+        assert um_to_nm(nm_to_um(123.0)) == pytest.approx(123.0)
+
+    def test_nm_to_m(self):
+        assert nm_to_m(1e9) == pytest.approx(1.0)
+
+    @given(st.floats(min_value=1e-3, max_value=1e9, allow_nan=False))
+    def test_round_trip_property(self, value):
+        assert nm_to_um(um_to_nm(value)) == pytest.approx(value, rel=1e-12)
+
+
+class TestLambda:
+    def test_to_nm_uses_lambda_size(self):
+        assert Lambda(4.0).to_nm(32.5) == pytest.approx(130.0)
+
+    def test_arithmetic(self):
+        total = Lambda(2.0) + Lambda(3.0)
+        assert float(total) == pytest.approx(5.0)
+        assert float(Lambda(4.0) - 1.0) == pytest.approx(3.0)
+        assert float(2 * Lambda(3.0)) == pytest.approx(6.0)
+
+    def test_comparisons(self):
+        assert Lambda(2.0) < Lambda(3.0)
+        assert Lambda(3.0) >= 3.0
+
+    def test_invalid_lambda_nm_rejected(self):
+        with pytest.raises(errors.UnitError):
+            Lambda(1.0).to_nm(0.0)
+
+    def test_non_finite_value_rejected(self):
+        with pytest.raises(errors.UnitError):
+            Lambda(float("nan"))
+
+    def test_combining_with_string_rejected(self):
+        with pytest.raises(errors.UnitError):
+            Lambda(1.0) + "two"
+
+
+class TestSIFormatting:
+    @pytest.mark.parametrize(
+        "value,unit,expected",
+        [
+            (3.2e-12, "s", "3.2ps"),
+            (0.0, "F", "0F"),
+            (1.5e-15, "J", "1.5fJ"),
+            (2.5e6, "Hz", "2.5MHz"),
+        ],
+    )
+    def test_format(self, value, unit, expected):
+        assert format_si(value, unit) == expected
+
+    def test_parse_round_trip(self):
+        assert parse_si("3.2ps", "s") == pytest.approx(3.2e-12)
+        assert parse_si(format_si(4.7e-15, "F"), "F") == pytest.approx(4.7e-15, rel=1e-2)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(errors.UnitError):
+            parse_si("not-a-number", "s")
+        with pytest.raises(errors.UnitError):
+            parse_si("", "s")
+
+    @given(st.floats(min_value=1e-17, max_value=1e8, allow_nan=False))
+    def test_format_parse_property(self, value):
+        text = format_si(value, "X", digits=9)
+        assert parse_si(text, "X") == pytest.approx(value, rel=1e-6)
+
+
+class TestMetricsHelpers:
+    def test_edp_and_edap(self):
+        assert edp(2e-15, 3e-12) == pytest.approx(6e-27)
+        assert edap(2e-15, 3e-12, 10.0) == pytest.approx(6e-26)
+
+    def test_scalar_conversions(self):
+        assert joules_to_femtojoules(1e-15) == pytest.approx(1.0)
+        assert seconds_to_picoseconds(1e-12) == pytest.approx(1.0)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.UnitError,
+            errors.TechnologyError,
+            errors.DesignRuleError,
+            errors.GeometryError,
+            errors.GDSError,
+            errors.LogicError,
+            errors.ExpressionParseError,
+            errors.NetworkError,
+            errors.EulerPathError,
+            errors.DeviceModelError,
+            errors.LayoutGenerationError,
+            errors.ImmunityAnalysisError,
+            errors.NetlistError,
+            errors.SimulationError,
+            errors.CharacterizationError,
+            errors.LibraryError,
+            errors.FlowError,
+            errors.MappingError,
+            errors.PlacementError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_parse_error_points_at_position(self):
+        error = errors.ExpressionParseError("bad token", text="A ** B", position=3)
+        assert "A ** B" in str(error)
+        assert "^" in str(error)
+
+    def test_drc_violation_error_summarises(self):
+        violations = [f"violation {i}" for i in range(8)]
+        error = errors.DRCViolationError(violations)
+        assert "8 DRC violation(s)" in str(error)
+        assert "3 more" in str(error)
+        assert error.violations == violations
