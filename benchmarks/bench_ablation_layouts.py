@@ -13,6 +13,7 @@ from conftest import record
 from repro.cells import characterize_gate, cmos_technology, cnfet_technology
 from repro.core import assemble_cell
 from repro.flow import CNFETDesignKit, full_adder_netlist
+from repro.immunity import sweep
 from repro.logic import standard_gate
 
 
@@ -25,6 +26,37 @@ def test_ablation_layout_technique_area(benchmark, technique):
     record(benchmark, technique=technique, area_lambda2=cell.area,
            height_lambda=cell.height, width_lambda=cell.width)
     assert cell.area > 0
+
+
+@pytest.mark.parametrize("gate_name", ["NAND2", "NAND3"])
+def test_ablation_layout_technique_immunity(benchmark, gate_name):
+    """Failure rate vs defect density per layout technique (batched sweep).
+
+    The immunity half of the layout-technique ablation: the vulnerable grid
+    degrades as CNTs per trial grow, while the etched baseline and the
+    compact Euler-path layouts stay at 0 % for every density.
+    """
+    points = benchmark.pedantic(
+        sweep,
+        kwargs=dict(
+            gates=(gate_name,),
+            techniques=("vulnerable", "baseline", "compact"),
+            cnts_per_trial=(2, 4, 8),
+            trials=400,
+            seed=2009,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    by_technique = {}
+    for point in points:
+        by_technique.setdefault(point.technique, {})[point.cnts_per_trial] = \
+            round(point.failure_rate, 3)
+    record(benchmark, gate=gate_name, failure_rate_by_density=by_technique)
+    vulnerable = by_technique["vulnerable"]
+    assert vulnerable[8] >= vulnerable[2]
+    assert all(rate == 0.0 for rate in by_technique["compact"].values())
+    assert all(rate == 0.0 for rate in by_technique["baseline"].values())
 
 
 @pytest.mark.parametrize("scheme", [1, 2])

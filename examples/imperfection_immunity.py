@@ -4,7 +4,9 @@ layouts do not.
 Builds the same NAND2 cell with three layout techniques — the vulnerable
 conventional layout, the etched-region baseline of Patil et al. [6], and the
 paper's compact Euler-path layout — then bombards each with mispositioned
-CNTs and reports how often the logic function is corrupted.
+CNTs and reports how often the logic function is corrupted.  All Monte Carlo
+runs use the batched engine, so thousands of trials stay interactive, and
+every technique sees the same defect populations (shared seed).
 
 Run with ``python examples/imperfection_immunity.py``.
 """
@@ -18,8 +20,10 @@ from repro.immunity import (
     ImmunityChecker,
     compare_techniques,
     format_comparison,
+    format_sweep,
     nominal_cnts,
     random_mispositioned_cnts,
+    sweep,
 )
 
 
@@ -52,17 +56,50 @@ def inspect_single_failure() -> None:
 
 
 def monte_carlo_comparison() -> None:
-    """The headline Figure 2 comparison across all three techniques."""
+    """The headline Figure 2 comparison across all three techniques.
+
+    Each technique is attacked by the identical defect populations — the
+    shared-seed contract of ``compare_techniques`` — and the batched engine
+    makes 2000 trials per technique essentially free.
+    """
     for gate_name in ("NAND2", "NAND3"):
-        results = compare_techniques(gate_name, trials=300, cnts_per_trial=4, seed=7)
-        print(f"{gate_name} under mispositioned-CNT injection (300 trials, 4 CNTs each):")
+        results = compare_techniques(gate_name, trials=2000, cnts_per_trial=4, seed=7)
+        print(f"{gate_name} under mispositioned-CNT injection "
+              f"(2000 trials, 4 CNTs each, shared defect populations):")
         print(format_comparison(results))
         print()
+
+
+def defect_parameter_sweep() -> None:
+    """Where does immunity break?  Sweep density, alignment and metallic
+    residue in one batched run."""
+    print("Sweeping defect density / alignment / metallic residue (NAND2):")
+    points = sweep(
+        gates=("NAND2",),
+        techniques=("vulnerable", "compact"),
+        cnts_per_trial=(2, 4, 8),
+        max_angle_deg=(5.0, 30.0),
+        metallic_fraction=(0.0, 0.25),
+        trials=1000,
+        seed=2009,
+    )
+    print(format_sweep(points))
+    clean = [p for p in points if p.metallic_fraction == 0.0]
+    dirty = [p for p in points if p.metallic_fraction > 0.0]
+    print()
+    print(f"  compact immune on all {sum(1 for p in clean if p.technique == 'compact')} "
+          f"metallic-free points: "
+          f"{all(p.result.immune for p in clean if p.technique == 'compact')}")
+    print(f"  with 25% metallic tubes even compact layouts fail "
+          f"(worst {max(p.failure_rate for p in dirty if p.technique == 'compact') * 100:.0f}%) "
+          f"- the paper's metallic-removal assumption is load-bearing.")
+    print()
 
 
 def main() -> None:
     inspect_single_failure()
     monte_carlo_comparison()
+    defect_parameter_sweep()
     print("Conclusion: the Euler-path compact layouts (and the etched baseline)")
     print("keep 100% functionality, the conventional layout does not — the")
     print("compact layouts achieve this without any etched region or vertical")

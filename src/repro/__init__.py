@@ -42,7 +42,7 @@ from .core import (
 from .devices import CNFET, MOSFET, calibrated_cnfet_parameters, paper_anchors
 from .errors import ReproError
 from .flow import CNFETDesignKit, full_adder_netlist, parse_structural_verilog
-from .immunity import compare_techniques, run_immunity_trials
+from .immunity import compare_techniques, run_immunity_trials, sweep
 from .logic import GateNetworks, parse_expression, standard_gate
 from .tech import CMOS_RULES, CNFET_RULES, cmos65_node, cnfet65_node
 
@@ -58,7 +58,7 @@ __all__ = [
     "CNFET", "MOSFET", "calibrated_cnfet_parameters", "paper_anchors",
     "ReproError",
     "CNFETDesignKit", "full_adder_netlist", "parse_structural_verilog",
-    "compare_techniques", "run_immunity_trials",
+    "compare_techniques", "run_immunity_trials", "sweep",
     "GateNetworks", "parse_expression", "standard_gate",
     "CNFET_RULES", "CMOS_RULES", "cnfet65_node", "cmos65_node",
     "__version__",

@@ -10,6 +10,7 @@ from .experiments import (
     run_fig4_aoi31,
     run_fig7_fo4,
     run_fulladder_case_study,
+    run_immunity_sweep,
     run_pitch_sensitivity,
     run_table1,
 )
@@ -21,6 +22,7 @@ __all__ = [
     "run_all",
     "run_edp_summary",
     "run_fig2_immunity",
+    "run_immunity_sweep",
     "run_fig3_nand3",
     "run_fig4_aoi31",
     "run_fig7_fo4",

@@ -28,7 +28,13 @@ from ..devices.calibration import (
 )
 from ..flow.designkit import CNFETDesignKit
 from ..flow.verilog import full_adder_netlist
-from ..immunity.montecarlo import compare_techniques, format_comparison
+from ..immunity.montecarlo import (
+    SeedLike,
+    compare_techniques,
+    format_comparison,
+    format_sweep,
+    sweep,
+)
 from ..logic.functions import aoi31, standard_gate
 from .metrics import GainReport, TechnologyFigures
 
@@ -71,10 +77,17 @@ def run_fig3_nand3(unit_width: float = 4.0) -> Dict[str, float]:
 # ---------------------------------------------------------------------------
 
 def run_fig2_immunity(gate_name: str = "NAND2", trials: int = 200,
-                      cnts_per_trial: int = 4, seed: int = 2009) -> Dict[str, object]:
-    """Monte Carlo immunity of the vulnerable / baseline / compact layouts."""
+                      cnts_per_trial: int = 4, seed: SeedLike = 2009,
+                      engine: str = "batch") -> Dict[str, object]:
+    """Monte Carlo immunity of the vulnerable / baseline / compact layouts.
+
+    Every technique is attacked by the same defect populations (shared
+    seed); ``engine`` selects the batched evaluator or the compatibility
+    loop — results are identical for a fixed seed.
+    """
     results = compare_techniques(
-        gate_name, trials=trials, cnts_per_trial=cnts_per_trial, seed=seed
+        gate_name, trials=trials, cnts_per_trial=cnts_per_trial, seed=seed,
+        engine=engine,
     )
     return {
         "gate": gate_name,
@@ -83,6 +96,41 @@ def run_fig2_immunity(gate_name: str = "NAND2", trials: int = 200,
         "vulnerable_failure_rate": results["vulnerable"].failure_rate,
         "baseline_immune": results["baseline"].immune,
         "compact_immune": results["compact"].immune,
+    }
+
+
+def run_immunity_sweep(
+    gates: Sequence[str] = ("NAND2", "NAND3"),
+    techniques: Sequence[str] = ("vulnerable", "baseline", "compact"),
+    cnts_per_trial: Sequence[int] = (2, 4, 8),
+    max_angle_deg: Sequence[float] = (15.0,),
+    metallic_fraction: Sequence[float] = (0.0,),
+    trials: int = 200,
+    seed: SeedLike = 2009,
+    workers: Optional[int] = None,
+) -> Dict[str, object]:
+    """Failure rate across defect density / alignment / metallic residue.
+
+    The batched extension of the Figure 2 experiment: instead of one
+    (technique × gate) table it explores the whole defect-parameter grid on
+    the vectorized engine (optionally across a process pool) and reports
+    where each layout technique stops being immune.
+    """
+    points = sweep(
+        gates=gates, techniques=techniques, cnts_per_trial=cnts_per_trial,
+        max_angle_deg=max_angle_deg, metallic_fraction=metallic_fraction,
+        trials=trials, seed=seed, workers=workers,
+    )
+    worst: Dict[str, float] = {}
+    for point in points:
+        worst[point.technique] = max(
+            worst.get(point.technique, 0.0), point.failure_rate
+        )
+    return {
+        "points": points,
+        "formatted": format_sweep(points),
+        "worst_failure_rate_by_technique": worst,
+        "compact_always_immune": worst.get("compact", 0.0) == 0.0,
     }
 
 
@@ -304,6 +352,9 @@ def run_all(fast: bool = True) -> Dict[str, object]:
     return {
         "table1": run_table1(),
         "fig2_immunity": run_fig2_immunity(trials=trials),
+        "immunity_sweep": run_immunity_sweep(
+            gates=("NAND2",), cnts_per_trial=(2, 4, 8), trials=trials
+        ),
         "fig3_nand3": run_fig3_nand3(),
         "fig4_aoi31": run_fig4_aoi31(),
         "fig7_fo4": run_fig7_fo4(),

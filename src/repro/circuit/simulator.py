@@ -92,7 +92,13 @@ class TransientResult:
     def crossing_time(self, net: str, level: float, rising: Optional[bool] = None,
                       after: float = 0.0) -> float:
         """First time the net crosses ``level`` (optionally in a specific
-        direction) after ``after``."""
+        direction) at or after ``after``.
+
+        A crossing inside a segment that straddles ``after`` only counts
+        when the interpolated crossing instant itself is at or after
+        ``after``, so the returned time is never earlier than ``after``
+        (``propagation_delay`` relies on this).
+        """
         voltages = self.voltage(net)
         times = self.time
         for index in range(1, len(times)):
@@ -106,10 +112,17 @@ class TransientResult:
             if rising is False and not crossed_down:
                 continue
             if crossed_up or crossed_down:
-                if current == previous:
-                    return times[index]
+                # A strict crossing implies previous != current, so the
+                # interpolation denominator is never zero.
                 fraction = (level - previous) / (current - previous)
-                return times[index - 1] + fraction * (times[index] - times[index - 1])
+                crossing = times[index - 1] + fraction * (
+                    times[index] - times[index - 1]
+                )
+                # A segment straddling ``after`` may cross before it; a
+                # linear segment crosses a level at most once, so such a
+                # crossing is simply outside the window — keep looking.
+                if crossing >= after:
+                    return crossing
         raise SimulationError(f"Net {net!r} never crosses {level} V after {after}")
 
     def propagation_delay(self, input_net: str, output_net: str,
@@ -183,6 +196,7 @@ class TransientSimulator:
                 for net, source in self.sources.items():
                     voltages[net] = source.value(time)
                 currents = {net: 0.0 for net in internal}
+                supply_current = 0.0
                 for transistor in netlist.transistors:
                     drain_v = voltages[transistor.drain]
                     source_v = voltages[transistor.source]
@@ -196,8 +210,14 @@ class TransientSimulator:
                         currents[transistor.drain] -= current[0]
                     if transistor.source in currents:
                         currents[transistor.source] -= current[1]
-                    if transistor.drain == VDD or transistor.source == VDD:
-                        supply_charge += max(0.0, current[0] if transistor.drain == VDD else current[1]) * dt
+                    # Net supply current: devices back-driving Vdd return
+                    # charge, so contributions must be summed before
+                    # integrating rather than clamped per device.
+                    if transistor.drain == VDD:
+                        supply_current += current[0]
+                    if transistor.source == VDD:
+                        supply_current += current[1]
+                supply_charge += supply_current * dt
                 for net in internal:
                     voltages[net] += currents[net] * dt / capacitance[net]
                     voltages[net] = min(max(voltages[net], -0.1 * vdd), 1.1 * vdd)

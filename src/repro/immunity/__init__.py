@@ -1,23 +1,83 @@
-"""Mispositioned-CNT immunity analysis (Figure 2 experiments)."""
+"""Mispositioned-CNT immunity analysis (Figure 2 experiments).
 
-from .checker import ImmunityChecker, ImmunityReport, TubeAnalysis
-from .cnts import CNTInstance, nominal_cnts, random_mispositioned_cnts
+Quick usage
+-----------
+Single-cell Monte Carlo (batched engine, default)::
+
+    from repro import assemble_cell, standard_gate
+    from repro.immunity import run_immunity_trials
+
+    cell = assemble_cell(standard_gate("NAND2"), technique="compact")
+    result = run_immunity_trials(cell, trials=2000, cnts_per_trial=4, seed=2009)
+    print(result.failure_rate, result.immune)
+
+Figure 2 technique comparison — every technique is attacked by the **same**
+defect populations (one shared seed)::
+
+    from repro.immunity import compare_techniques, format_comparison
+
+    print(format_comparison(compare_techniques("NAND2", trials=2000)))
+
+Parameter sweeps over defect density / alignment / metallic residue, with
+optional multiprocessing::
+
+    from repro.immunity import sweep, format_sweep
+
+    points = sweep(gates=("NAND2", "NAND3"), cnts_per_trial=(2, 4, 8),
+                   max_angle_deg=(5.0, 15.0, 30.0), trials=1000, workers=4)
+    print(format_sweep(points))
+
+Seed contract: a fixed seed fully determines every defect population; the
+``"batch"`` and ``"loop"`` engines (and any ``chunk_size``) produce
+identical :class:`MonteCarloResult` values, and within
+:func:`compare_techniques` / :func:`sweep` all techniques at the same
+parameter point consume identical underlying defect draws.
+"""
+
+from .checker import (
+    CODE_HIGH,
+    CODE_LOW,
+    CODE_UNDRIVEN,
+    ImmunityChecker,
+    ImmunityReport,
+    TubeAnalysis,
+)
+from .cnts import (
+    CNTBatch,
+    CNTInstance,
+    nominal_cnts,
+    random_mispositioned_cnts,
+    sample_mispositioned_batch,
+)
 from .montecarlo import (
+    DEFAULT_CHUNK_SIZE,
     MonteCarloResult,
+    SweepPoint,
     compare_techniques,
     format_comparison,
+    format_sweep,
     run_immunity_trials,
+    sweep,
 )
 
 __all__ = [
+    "CODE_HIGH",
+    "CODE_LOW",
+    "CODE_UNDRIVEN",
     "ImmunityChecker",
     "ImmunityReport",
     "TubeAnalysis",
+    "CNTBatch",
     "CNTInstance",
     "nominal_cnts",
     "random_mispositioned_cnts",
+    "sample_mispositioned_batch",
+    "DEFAULT_CHUNK_SIZE",
     "MonteCarloResult",
+    "SweepPoint",
     "compare_techniques",
     "format_comparison",
+    "format_sweep",
     "run_immunity_trials",
+    "sweep",
 ]

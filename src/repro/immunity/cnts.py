@@ -7,13 +7,26 @@ axis by a small random angle, which is the defect mechanism of Section III
 (and of Patil et al. [6]): such a tube can wander between device columns
 and, if nothing stops it, connect two metal contacts without passing under
 the gate that is supposed to control it.
+
+Two representations are provided:
+
+* :class:`CNTInstance` — one tube as a pair of :class:`Point` objects, the
+  unit the scalar checker walks over.
+* :class:`CNTBatch` — a whole population as ``(n, 2)`` NumPy coordinate
+  arrays, the unit the batched Monte Carlo engine consumes.
+
+:func:`sample_mispositioned_batch` draws entire populations with vectorized
+NumPy sampling while consuming the underlying uniform stream in exactly the
+same order as the historical one-tube-at-a-time loop (``x``, ``y``,
+``angle``, ``metallic`` per tube), so a fixed seed produces bit-identical
+defect populations on both the batched and the legacy code paths.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -77,6 +90,88 @@ class CNTInstance:
         if t_max - t_min <= 1e-9:
             return None
         return (t_min, t_max)
+
+
+@dataclass(frozen=True, eq=False)
+class CNTBatch:
+    """A population of CNTs as flat coordinate arrays.
+
+    ``starts`` and ``ends`` are ``(n, 2)`` float arrays of segment
+    endpoints; ``metallic`` and ``mispositioned`` are ``(n,)`` boolean
+    arrays (a scalar bool broadcasts to every tube).  This is the
+    representation the batched immunity engine evaluates directly; it
+    round-trips losslessly to a list of :class:`CNTInstance`.
+
+    Equality is element-wise over the arrays (the dataclass-generated
+    ``__eq__`` would raise on ndarray fields); batches are unhashable.
+    """
+
+    starts: np.ndarray
+    ends: np.ndarray
+    metallic: np.ndarray
+    mispositioned: np.ndarray = True
+
+    def __post_init__(self):
+        if self.starts.shape != self.ends.shape or self.starts.ndim != 2 \
+                or self.starts.shape[1] != 2:
+            raise ImmunityAnalysisError(
+                f"CNTBatch needs (n, 2) start/end arrays, got "
+                f"{self.starts.shape} and {self.ends.shape}"
+            )
+        count = self.starts.shape[0]
+        for name in ("metallic", "mispositioned"):
+            if isinstance(getattr(self, name), (bool, np.bool_)):
+                object.__setattr__(
+                    self, name,
+                    np.full(count, bool(getattr(self, name)), dtype=bool),
+                )
+        for name in ("metallic", "mispositioned"):
+            if getattr(self, name).shape != (count,):
+                raise ImmunityAnalysisError(
+                    f"CNTBatch {name} flags must be ({count},), "
+                    f"got {getattr(self, name).shape}"
+                )
+
+    def __len__(self) -> int:
+        return self.starts.shape[0]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CNTBatch):
+            return NotImplemented
+        return (
+            np.array_equal(self.starts, other.starts)
+            and np.array_equal(self.ends, other.ends)
+            and np.array_equal(self.metallic, other.metallic)
+            and np.array_equal(self.mispositioned, other.mispositioned)
+        )
+
+    __hash__ = None
+
+    @classmethod
+    def empty(cls) -> "CNTBatch":
+        return cls(np.zeros((0, 2)), np.zeros((0, 2)), np.zeros(0, dtype=bool))
+
+    @classmethod
+    def from_instances(cls, cnts: Sequence[CNTInstance]) -> "CNTBatch":
+        """Pack a sequence of tubes into coordinate arrays."""
+        starts = np.array([[c.start.x, c.start.y] for c in cnts], dtype=float)
+        ends = np.array([[c.end.x, c.end.y] for c in cnts], dtype=float)
+        metallic = np.array([c.metallic for c in cnts], dtype=bool)
+        mispositioned = np.array([c.mispositioned for c in cnts], dtype=bool)
+        return cls(starts.reshape(-1, 2), ends.reshape(-1, 2), metallic,
+                   mispositioned=mispositioned)
+
+    def to_instances(self) -> List[CNTInstance]:
+        """Unpack into per-tube :class:`CNTInstance` objects."""
+        return [
+            CNTInstance(
+                Point(float(self.starts[i, 0]), float(self.starts[i, 1])),
+                Point(float(self.ends[i, 0]), float(self.ends[i, 1])),
+                mispositioned=bool(self.mispositioned[i]),
+                metallic=bool(self.metallic[i]),
+            )
+            for i in range(len(self))
+        ]
 
 
 def nominal_cnts(
@@ -152,7 +247,7 @@ def _merge_intervals(intervals: List[Tuple[float, float]]) -> List[Tuple[float, 
     return merged
 
 
-def random_mispositioned_cnts(
+def sample_mispositioned_batch(
     annotations: CellAnnotations,
     count: int,
     rng: np.random.Generator,
@@ -160,8 +255,8 @@ def random_mispositioned_cnts(
     axis: str = "y",
     region: Optional[Rect] = None,
     metallic_fraction: float = 0.0,
-) -> List[CNTInstance]:
-    """Draw ``count`` mispositioned CNTs.
+) -> CNTBatch:
+    """Draw ``count`` mispositioned CNTs as one vectorized batch.
 
     Each tube passes through a uniformly random point of the cell (or the
     supplied ``region``) at an angle drawn uniformly within
@@ -170,6 +265,11 @@ def random_mispositioned_cnts(
     defects the paper considers.  ``metallic_fraction`` of the tubes are
     additionally marked metallic (the paper assumes this fraction is driven
     to zero by processing; non-zero values stress-test that assumption).
+
+    The four uniform draws of each tube (``x``, ``y``, ``angle``,
+    ``metallic``) are consumed contiguously from ``rng``, so the values are
+    bit-identical to drawing the tubes one at a time — the seed contract the
+    Monte Carlo compatibility path relies on.
     """
     if not 0.0 <= metallic_fraction <= 1.0:
         raise ImmunityAnalysisError("metallic_fraction must be within [0, 1]")
@@ -181,21 +281,45 @@ def random_mispositioned_cnts(
         region = _cell_extent(annotations)
     span = math.hypot(region.width, region.height) * 1.2
 
-    cnts: List[CNTInstance] = []
-    for _ in range(count):
-        x = rng.uniform(region.x1, region.x2)
-        y = rng.uniform(region.y1, region.y2)
-        angle = math.radians(rng.uniform(-max_angle_deg, max_angle_deg))
-        if axis == "y":
-            direction = (math.sin(angle), math.cos(angle))
-        else:
-            direction = (math.cos(angle), math.sin(angle))
-        half = span / 2.0
-        start = Point(x - direction[0] * half, y - direction[1] * half)
-        end = Point(x + direction[0] * half, y + direction[1] * half)
-        metallic = bool(rng.uniform() < metallic_fraction)
-        cnts.append(CNTInstance(start, end, mispositioned=True, metallic=metallic))
-    return cnts
+    draws = rng.uniform(size=(count, 4))
+    # ``low + (high - low) * u`` is exactly what Generator.uniform(low, high)
+    # computes, keeping the scaled values bitwise equal to per-tube draws.
+    x = region.x1 + (region.x2 - region.x1) * draws[:, 0]
+    y = region.y1 + (region.y2 - region.y1) * draws[:, 1]
+    angle_deg = -max_angle_deg + (max_angle_deg - -max_angle_deg) * draws[:, 2]
+    angle = np.radians(angle_deg)
+    if axis == "y":
+        direction = np.column_stack([np.sin(angle), np.cos(angle)])
+    else:
+        direction = np.column_stack([np.cos(angle), np.sin(angle)])
+    half = span / 2.0
+    centers = np.column_stack([x, y])
+    starts = centers - direction * half
+    ends = centers + direction * half
+    metallic = draws[:, 3] < metallic_fraction
+    return CNTBatch(starts, ends, metallic, mispositioned=True)
+
+
+def random_mispositioned_cnts(
+    annotations: CellAnnotations,
+    count: int,
+    rng: np.random.Generator,
+    max_angle_deg: float = 15.0,
+    axis: str = "y",
+    region: Optional[Rect] = None,
+    metallic_fraction: float = 0.0,
+) -> List[CNTInstance]:
+    """Draw ``count`` mispositioned CNTs as :class:`CNTInstance` objects.
+
+    Thin wrapper over :func:`sample_mispositioned_batch` kept for the scalar
+    checker API and existing callers; both entry points consume the random
+    stream identically.
+    """
+    batch = sample_mispositioned_batch(
+        annotations, count, rng, max_angle_deg=max_angle_deg, axis=axis,
+        region=region, metallic_fraction=metallic_fraction,
+    )
+    return batch.to_instances()
 
 
 def _cell_extent(annotations: CellAnnotations) -> Rect:

@@ -6,23 +6,68 @@ and the new compact technique) keep 100 % functionality — is quantified
 here: for each layout technique a population of random mispositioned CNTs
 is injected repeatedly and the fraction of trials whose truth table is
 corrupted is reported.
+
+Engines
+-------
+Two engines implement identical trial semantics:
+
+* ``engine="batch"`` (default) samples whole defect populations at once and
+  evaluates every trial × input-assignment with NumPy array operations via
+  :meth:`~repro.immunity.checker.ImmunityChecker.evaluate_batch`, in memory
+  chunks of ``chunk_size`` trials;
+* ``engine="loop"`` is the compatibility path: one trial at a time through
+  the scalar reference checker, exactly as the original implementation.
+
+Both consume the random stream in the same per-tube order, so a fixed seed
+produces identical :class:`MonteCarloResult` values on either engine (and
+for any ``chunk_size``).
+
+Seed contract
+-------------
+:func:`compare_techniques` attacks **every technique with the same defect
+model**: each technique's generator is built from the same seed (one common
+``SeedSequence``), so trial ``t`` consumes the identical underlying uniform
+draws for every technique.  The raw draws are scaled to each cell's own
+bounding box, which is what "the same Monte Carlo CNT defect model" means
+for cells of different sizes.  :func:`sweep` extends the contract: points
+that differ only in ``technique`` share one spawned child sequence, while
+distinct parameter combinations get independent child sequences.
 """
 
 from __future__ import annotations
 
+import itertools
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..core.spec import CellAnnotations, get_annotations
+from ..core.spec import CellAnnotations
 from ..core.standard_cell import StandardCell, assemble_cell
 from ..errors import ImmunityAnalysisError
 from ..logic.functions import standard_gate
 from ..logic.network import GateNetworks
 from ..tech.lambda_rules import CNFET_RULES, DesignRules
-from .checker import ImmunityChecker, ImmunityReport
-from .cnts import nominal_cnts, random_mispositioned_cnts
+from .checker import ImmunityChecker
+from .cnts import (
+    CNTBatch,
+    nominal_cnts,
+    random_mispositioned_cnts,
+    sample_mispositioned_batch,
+)
+
+#: Trials evaluated per vectorized chunk; bounds peak memory while keeping
+#: the arrays large enough to amortise dispatch overhead.
+DEFAULT_CHUNK_SIZE = 512
+
+#: Seed-like values accepted wherever a Monte Carlo seed is expected.
+SeedLike = Union[int, Sequence[int], np.random.SeedSequence]
+
+#: Reserved spawn-key element under which :func:`sweep` derives its child
+#: sequences, far outside the counter range ``SeedSequence.spawn`` uses, so
+#: sweep children never collide with children the caller spawns themselves.
+_SWEEP_SPAWN_KEY = 1 << 31
 
 
 @dataclass(frozen=True)
@@ -54,9 +99,11 @@ def run_immunity_trials(
     trials: int = 200,
     cnts_per_trial: int = 4,
     max_angle_deg: float = 15.0,
-    seed: int = 2009,
+    seed: SeedLike = 2009,
     cnt_pitch: float = 1.0,
     metallic_fraction: float = 0.0,
+    engine: str = "batch",
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> MonteCarloResult:
     """Monte Carlo immunity analysis of one assembled standard cell.
 
@@ -65,6 +112,9 @@ def run_immunity_trials(
     injected defect tubes as metallic — the paper assumes this is zero after
     processing (Section II); raising it shows how quickly that assumption
     matters, because no layout technique can gate a metallic tube off.
+
+    ``engine`` selects the vectorized ``"batch"`` evaluator or the scalar
+    ``"loop"`` compatibility path; results are identical for a fixed seed.
     """
     annotations = cell.annotations()
     return _run_trials(
@@ -78,6 +128,8 @@ def run_immunity_trials(
         seed=seed,
         cnt_pitch=cnt_pitch,
         metallic_fraction=metallic_fraction,
+        engine=engine,
+        chunk_size=chunk_size,
     )
 
 
@@ -89,27 +141,35 @@ def _run_trials(
     trials: int,
     cnts_per_trial: int,
     max_angle_deg: float,
-    seed: int,
+    seed: SeedLike,
     cnt_pitch: float,
     metallic_fraction: float = 0.0,
+    engine: str = "batch",
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> MonteCarloResult:
     if trials <= 0:
         raise ImmunityAnalysisError("trials must be positive")
+    if engine not in ("batch", "loop"):
+        raise ImmunityAnalysisError(
+            f"engine must be 'batch' or 'loop', got {engine!r}"
+        )
+    if chunk_size <= 0:
+        raise ImmunityAnalysisError("chunk_size must be positive")
     checker = ImmunityChecker(annotations)
     nominal = nominal_cnts(annotations, pitch=cnt_pitch, axis=axis)
     expected = expected_gate.expected_truth_table() if expected_gate else None
     rng = np.random.default_rng(seed)
 
-    nominal_report = checker.check(nominal, [], expected=expected)
-    failures = 0
-    for _ in range(trials):
-        strays = random_mispositioned_cnts(
-            annotations, cnts_per_trial, rng, max_angle_deg=max_angle_deg, axis=axis,
-            metallic_fraction=metallic_fraction,
+    if engine == "loop":
+        failures, nominal_matches = _loop_trials(
+            checker, annotations, nominal, expected, rng, trials,
+            cnts_per_trial, max_angle_deg, axis, metallic_fraction,
         )
-        report = checker.check(nominal, strays, expected=expected)
-        if not report.immune:
-            failures += 1
+    else:
+        failures, nominal_matches = _batched_trials(
+            checker, annotations, nominal, expected, rng, trials,
+            cnts_per_trial, max_angle_deg, axis, metallic_fraction, chunk_size,
+        )
 
     return MonteCarloResult(
         cell_name=annotations.cell_name,
@@ -117,8 +177,79 @@ def _run_trials(
         trials=trials,
         cnts_per_trial=cnts_per_trial,
         failures=failures,
-        nominal_matches=nominal_report.nominal_matches and nominal_report.immune,
+        nominal_matches=nominal_matches,
     )
+
+
+def _loop_trials(
+    checker: ImmunityChecker,
+    annotations: CellAnnotations,
+    nominal,
+    expected,
+    rng: np.random.Generator,
+    trials: int,
+    cnts_per_trial: int,
+    max_angle_deg: float,
+    axis: str,
+    metallic_fraction: float,
+) -> Tuple[int, bool]:
+    """The original per-trial loop over the scalar reference checker."""
+    nominal_report = checker.check(nominal, [], expected=expected,
+                                   reference=True)
+    failures = 0
+    for _ in range(trials):
+        strays = random_mispositioned_cnts(
+            annotations, cnts_per_trial, rng, max_angle_deg=max_angle_deg,
+            axis=axis, metallic_fraction=metallic_fraction,
+        )
+        report = checker.check(nominal, strays, expected=expected,
+                               reference=True)
+        if not report.immune:
+            failures += 1
+    return failures, nominal_report.nominal_matches and nominal_report.immune
+
+
+def _batched_trials(
+    checker: ImmunityChecker,
+    annotations: CellAnnotations,
+    nominal,
+    expected,
+    rng: np.random.Generator,
+    trials: int,
+    cnts_per_trial: int,
+    max_angle_deg: float,
+    axis: str,
+    metallic_fraction: float,
+    chunk_size: int,
+) -> Tuple[int, bool]:
+    """All trials through the vectorized evaluator, in bounded chunks."""
+    base_adjacency, nominal_codes = checker.base_state(
+        CNTBatch.from_instances(nominal)
+    )
+    if expected is not None:
+        inputs_match = set(expected.inputs) == set(checker.inputs)
+        expected_codes = checker.truth_table_codes(expected)
+    else:
+        inputs_match = True
+        expected_codes = nominal_codes
+    nominal_matches = inputs_match and bool(
+        (nominal_codes == expected_codes).all()
+    )
+
+    failures = 0
+    remaining = trials
+    while remaining:
+        chunk = min(chunk_size, remaining)
+        batch = sample_mispositioned_batch(
+            annotations, chunk * cnts_per_trial, rng,
+            max_angle_deg=max_angle_deg, axis=axis,
+            metallic_fraction=metallic_fraction,
+        )
+        codes = checker.evaluate_batch(batch, groups=chunk,
+                                       base_adjacency=base_adjacency)
+        failures += int((codes != expected_codes[None, :]).any(axis=1).sum())
+        remaining -= chunk
+    return failures, nominal_matches
 
 
 def compare_techniques(
@@ -128,13 +259,25 @@ def compare_techniques(
     cnts_per_trial: int = 4,
     unit_width: float = 4.0,
     scheme: int = 1,
-    seed: int = 2009,
+    seed: SeedLike = 2009,
     rules: DesignRules = CNFET_RULES,
+    engine: str = "batch",
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> Dict[str, MonteCarloResult]:
     """Run the Figure 2 experiment: the same gate laid out with each
-    technique, attacked by the same Monte Carlo CNT defect model."""
+    technique, attacked by the same Monte Carlo CNT defect model.
+
+    Every technique's generator is spawned from the common
+    ``SeedSequence(seed)``, so all techniques consume the identical
+    underlying defect draws — trial ``t`` uses the same raw ``(x, y, angle,
+    metallic)`` uniforms for every technique, making the Figure 2 comparison
+    apples-to-apples.  (The draws are scaled to each cell's own bounding
+    box; independence *within* a technique comes from consuming the stream
+    across trials.)
+    """
     results: Dict[str, MonteCarloResult] = {}
-    for index, technique in enumerate(techniques):
+    seed_sequence = _as_seed_sequence(seed)
+    for technique in techniques:
         gate = standard_gate(gate_name)
         cell = assemble_cell(
             gate, technique=technique, scheme=scheme, unit_width=unit_width, rules=rules
@@ -143,9 +286,19 @@ def compare_techniques(
             cell,
             trials=trials,
             cnts_per_trial=cnts_per_trial,
-            seed=seed + index,
+            seed=seed_sequence,
+            engine=engine,
+            chunk_size=chunk_size,
         )
     return results
+
+
+def _as_seed_sequence(seed: SeedLike) -> np.random.SeedSequence:
+    """A reusable SeedSequence: passing it to ``default_rng`` repeatedly
+    yields identically seeded generators (the shared-population contract)."""
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    return np.random.SeedSequence(seed)
 
 
 def format_comparison(results: Dict[str, MonteCarloResult]) -> str:
@@ -156,5 +309,162 @@ def format_comparison(results: Dict[str, MonteCarloResult]) -> str:
         lines.append(
             f"{technique:<12} {result.trials:>7} {result.failures:>9} "
             f"{result.failure_rate * 100:>12.1f}% {str(result.immune):>7}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Parameter sweeps over the batched engine
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of a parameter sweep and its Monte Carlo outcome."""
+
+    gate: str
+    technique: str
+    cnts_per_trial: int
+    max_angle_deg: float
+    metallic_fraction: float
+    result: MonteCarloResult
+
+    @property
+    def failure_rate(self) -> float:
+        return self.result.failure_rate
+
+
+def sweep(
+    gates: Sequence[str] = ("NAND2",),
+    techniques: Sequence[str] = ("vulnerable", "baseline", "compact"),
+    cnts_per_trial: Sequence[int] = (4,),
+    max_angle_deg: Sequence[float] = (15.0,),
+    metallic_fraction: Sequence[float] = (0.0,),
+    trials: int = 200,
+    seed: SeedLike = 2009,
+    unit_width: float = 4.0,
+    scheme: int = 1,
+    rules: DesignRules = CNFET_RULES,
+    engine: str = "batch",
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    workers: Optional[int] = None,
+) -> List[SweepPoint]:
+    """Failure rate across the cartesian product of defect parameters.
+
+    Sweeps ``gates`` × ``cnts_per_trial`` × ``max_angle_deg`` ×
+    ``metallic_fraction`` × ``techniques`` and returns one
+    :class:`SweepPoint` per combination, in deterministic product order.
+
+    Seeding follows the Figure 2 contract: every parameter combination gets
+    its own child ``SeedSequence`` spawned from ``SeedSequence(seed)``, and
+    all techniques at that combination share the child, so technique
+    comparisons see the same defect populations while distinct combinations
+    stay statistically independent.
+
+    ``workers`` > 1 distributes points over a ``concurrent.futures``
+    process pool; results are identical to the serial run (each point is
+    seeded independently of scheduling order).
+    """
+    combos = list(itertools.product(
+        gates, cnts_per_trial, max_angle_deg, metallic_fraction
+    ))
+    # Spawn under a reserved key of a fresh copy: SeedSequence.spawn
+    # advances the parent's counter (spawning from the caller's sequence
+    # would make identical sweep() calls irreproducible), while a plain
+    # copy restarts the counter at 0 and would alias children the caller
+    # already spawned themselves.
+    root = _as_seed_sequence(seed)
+    root = np.random.SeedSequence(
+        entropy=root.entropy,
+        spawn_key=root.spawn_key + (_SWEEP_SPAWN_KEY,),
+        pool_size=root.pool_size,
+    )
+    children = root.spawn(len(combos))
+    tasks = []
+    for (gate, cnts, angle, metallic), child in zip(combos, children):
+        for technique in techniques:
+            tasks.append(_SweepTask(
+                gate=gate,
+                technique=technique,
+                cnts_per_trial=cnts,
+                max_angle_deg=angle,
+                metallic_fraction=metallic,
+                trials=trials,
+                seed_sequence=child,
+                unit_width=unit_width,
+                scheme=scheme,
+                rules=rules,
+                engine=engine,
+                chunk_size=chunk_size,
+            ))
+
+    if workers is not None and workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(_run_sweep_task, tasks))
+    else:
+        results = [_run_sweep_task(task) for task in tasks]
+
+    return [
+        SweepPoint(
+            gate=task.gate,
+            technique=task.technique,
+            cnts_per_trial=task.cnts_per_trial,
+            max_angle_deg=task.max_angle_deg,
+            metallic_fraction=task.metallic_fraction,
+            result=result,
+        )
+        for task, result in zip(tasks, results)
+    ]
+
+
+@dataclass(frozen=True)
+class _SweepTask:
+    """A picklable unit of sweep work (one technique at one combination)."""
+
+    gate: str
+    technique: str
+    cnts_per_trial: int
+    max_angle_deg: float
+    metallic_fraction: float
+    trials: int
+    seed_sequence: np.random.SeedSequence
+    unit_width: float
+    scheme: int
+    rules: DesignRules
+    engine: str
+    chunk_size: int
+
+
+def _run_sweep_task(task: _SweepTask) -> MonteCarloResult:
+    """Top-level worker so process pools can pickle it."""
+    gate = standard_gate(task.gate)
+    cell = assemble_cell(
+        gate, technique=task.technique, scheme=task.scheme,
+        unit_width=task.unit_width, rules=task.rules,
+    )
+    return run_immunity_trials(
+        cell,
+        trials=task.trials,
+        cnts_per_trial=task.cnts_per_trial,
+        max_angle_deg=task.max_angle_deg,
+        metallic_fraction=task.metallic_fraction,
+        seed=task.seed_sequence,
+        engine=task.engine,
+        chunk_size=task.chunk_size,
+    )
+
+
+def format_sweep(points: Sequence[SweepPoint]) -> str:
+    """Render a sweep as a text table."""
+    header = (
+        f"{'gate':<8} {'technique':<12} {'cnts':>5} {'angle':>6} "
+        f"{'metallic':>9} {'trials':>7} {'failure rate':>13} {'immune':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for point in points:
+        lines.append(
+            f"{point.gate:<8} {point.technique:<12} "
+            f"{point.cnts_per_trial:>5} {point.max_angle_deg:>6.1f} "
+            f"{point.metallic_fraction:>9.2f} {point.result.trials:>7} "
+            f"{point.failure_rate * 100:>12.1f}% {str(point.result.immune):>7}"
         )
     return "\n".join(lines)

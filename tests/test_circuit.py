@@ -160,6 +160,115 @@ class TestTransientSimulation:
         assert cmos.delay_s / cnfet.delay_s > 3.0
 
 
+class TestCrossingTime:
+    """Regressions for TransientResult.crossing_time, in particular the
+    ``after`` clamping that propagation_delay's FO4 numbers depend on."""
+
+    @staticmethod
+    def _result(times, volts):
+        import numpy as np
+
+        from repro.circuit.simulator import TransientResult
+
+        return TransientResult(
+            time=np.asarray(times, dtype=float),
+            waveforms={"n": np.asarray(volts, dtype=float)},
+            supply_charge=0.0,
+            vdd=1.0,
+        )
+
+    def test_simple_rising_interpolation(self):
+        result = self._result([0.0, 1.0, 2.0], [0.0, 0.0, 1.0])
+        assert result.crossing_time("n", 0.5) == pytest.approx(1.5)
+
+    def test_crossing_never_earlier_than_after(self):
+        # The ramp crosses 0.5 at t=0.5; with after=0.75 inside the same
+        # segment the crossing must be re-evaluated from t=0.75, where the
+        # net is already above the level -> the *next* crossing counts.
+        result = self._result(
+            [0.0, 1.0, 2.0, 3.0], [0.0, 1.0, 1.0, 0.0]
+        )
+        unclamped = result.crossing_time("n", 0.5)
+        assert unclamped == pytest.approx(0.5)
+        crossing = result.crossing_time("n", 0.5, after=0.75)
+        assert crossing >= 0.75
+        assert crossing == pytest.approx(2.5)  # the falling edge
+
+    def test_after_mid_segment_before_level(self):
+        # after=0.25 lands mid-segment but before the crossing: the
+        # interpolated crossing inside the straddling segment is unchanged.
+        result = self._result([0.0, 1.0], [0.0, 1.0])
+        assert result.crossing_time("n", 0.5, after=0.25) == pytest.approx(0.5)
+
+    def test_crossing_exactly_at_after_counts(self):
+        # The net reaches the level exactly at ``after`` (here a sample
+        # point): the crossing belongs to the window.
+        result = self._result([0.0, 1.0, 2.0], [0.0, 0.5, 1.0])
+        assert result.crossing_time("n", 0.5, after=1.0) == pytest.approx(1.0)
+        # Same when ``after`` lands mid-segment on the crossing instant.
+        ramp = self._result([0.0, 2.0], [0.0, 1.0])
+        assert ramp.crossing_time("n", 0.5, after=1.0) == pytest.approx(1.0)
+
+    def test_falling_edge_with_after(self):
+        result = self._result([0.0, 1.0, 2.0], [1.0, 1.0, 0.0])
+        crossing = result.crossing_time("n", 0.5, rising=False, after=1.5)
+        assert crossing >= 1.5
+        assert crossing == pytest.approx(1.5)
+
+    def test_flat_segments_are_not_crossings(self):
+        result = self._result([0.0, 1.0, 2.0, 3.0], [0.0, 0.5, 0.5, 1.0])
+        # The crossing completes on the segment that *arrives* at the level;
+        # the flat stretch and the departure from it do not cross again.
+        assert result.crossing_time("n", 0.5) == pytest.approx(1.0)
+        with pytest.raises(SimulationError):
+            result.crossing_time("n", 0.5, after=1.5)
+        # A flat stretch strictly below the level is skipped entirely.
+        staircase = self._result([0.0, 1.0, 2.0, 3.0], [0.0, 0.4, 0.4, 1.0])
+        assert staircase.crossing_time("n", 0.5, after=1.5) == pytest.approx(
+            2.0 + (0.5 - 0.4) / (1.0 - 0.4)
+        )
+
+    def test_direction_filter(self):
+        result = self._result([0.0, 1.0, 2.0], [0.0, 1.0, 0.0])
+        assert result.crossing_time("n", 0.5, rising=True) == pytest.approx(0.5)
+        assert result.crossing_time("n", 0.5, rising=False) == pytest.approx(1.5)
+
+    def test_never_crossing_raises(self):
+        result = self._result([0.0, 1.0], [0.0, 0.1])
+        with pytest.raises(SimulationError):
+            result.crossing_time("n", 0.5)
+        with pytest.raises(SimulationError):
+            # Crosses before ``after`` but never after it.
+            self._result([0.0, 1.0, 2.0], [0.0, 1.0, 1.0]).crossing_time(
+                "n", 0.5, after=1.5
+            )
+
+    def test_propagation_delay_non_negative_on_steep_edges(self):
+        # Output crossing lands in the segment straddling the input
+        # crossing; without clamping this used to go negative.
+        result = self._result([0.0, 1.0, 2.0], [0.0, 0.6, 1.0])
+        delayed = self._result([0.0, 1.0, 2.0], [0.0, 0.4, 1.0])
+        result.waveforms["out"] = delayed.waveforms["n"]
+        assert result.propagation_delay("n", "out") >= 0.0
+
+
+class TestSupplyChargeAccounting:
+    def test_backdriven_supply_not_overcounted(self):
+        """A rail-to-rail pulse through one inverter: the supply charge must
+        stay close to the switched capacitance (CV), not accumulate clamped
+        per-device contributions."""
+        inverter = cmos_inverter()
+        netlist = build_inverter_chain(inverter, stages=1, fanout=4, vdd=1.0)
+        source = pulse_source(1.0, delay=20e-12, rise_time=2e-12, width=200e-12)
+        sim = TransientSimulator(netlist, {"in": source},
+                                 initial_conditions={"n1": 1.0})
+        result = sim.run(stop_time=450e-12, time_step=1e-12)
+        load = netlist.node_capacitance("n1")
+        # One full cycle charges the load once (plus short-circuit current
+        # during the edges) -> the same order of magnitude as CV.
+        assert 0.5 * load < result.supply_charge < 4.0 * load
+
+
 class TestGateNetlist:
     def _simple_netlist(self):
         netlist = GateNetlist("pair")

@@ -8,12 +8,15 @@ from repro.core import assemble_cell, get_annotations
 from repro.errors import ImmunityAnalysisError
 from repro.geometry import Point, Rect
 from repro.immunity import (
+    CNTBatch,
     CNTInstance,
     ImmunityChecker,
     compare_techniques,
     nominal_cnts,
     random_mispositioned_cnts,
     run_immunity_trials,
+    sample_mispositioned_batch,
+    sweep,
 )
 from repro.logic import standard_gate
 
@@ -171,6 +174,249 @@ class TestMonteCarlo:
         cell = assemble_cell(standard_gate("NAND2"), technique="compact", scheme=1)
         result = run_immunity_trials(cell, trials=15, cnts_per_trial=6, seed=seed)
         assert result.immune
+
+
+class TestBatchedEngine:
+    """The vectorized engine must be indistinguishable from the scalar
+    reference walk: identical truth tables, identical Monte Carlo results,
+    regardless of chunking."""
+
+    def test_batch_sampling_matches_historical_loop(self):
+        """Independent oracle for the seed contract: re-draw the same tubes
+        with the seed-era one-uniform-at-a-time loop and demand bitwise
+        equality (``random_mispositioned_cnts`` is now a wrapper over the
+        batch sampler, so comparing the two public entry points would be
+        tautological)."""
+        import math
+
+        from repro.immunity.cnts import _cell_extent
+
+        annotations = assemble_cell(standard_gate("NAND2")).annotations()
+        max_angle_deg = 15.0
+        batch = sample_mispositioned_batch(
+            annotations, 6, np.random.default_rng(3), axis="x",
+            max_angle_deg=max_angle_deg, metallic_fraction=0.5,
+        )
+
+        rng = np.random.default_rng(3)
+        region = _cell_extent(annotations)
+        span = math.hypot(region.width, region.height) * 1.2
+        half = span / 2.0
+        for i in range(6):
+            x = rng.uniform(region.x1, region.x2)
+            y = rng.uniform(region.y1, region.y2)
+            angle = math.radians(rng.uniform(-max_angle_deg, max_angle_deg))
+            direction = (math.cos(angle), math.sin(angle))  # axis="x"
+            metallic = bool(rng.uniform() < 0.5)
+            # The draws themselves are bit-identical; the trig-derived
+            # endpoints get a tight tolerance because vectorized
+            # np.sin/np.cos may differ from libm by a ULP on some builds.
+            assert batch.starts[i, 0] == pytest.approx(
+                x - direction[0] * half, rel=1e-12, abs=1e-12)
+            assert batch.starts[i, 1] == pytest.approx(
+                y - direction[1] * half, rel=1e-12, abs=1e-12)
+            assert batch.ends[i, 0] == pytest.approx(
+                x + direction[0] * half, rel=1e-12, abs=1e-12)
+            assert batch.ends[i, 1] == pytest.approx(
+                y + direction[1] * half, rel=1e-12, abs=1e-12)
+            assert bool(batch.metallic[i]) == metallic
+
+    def test_cnt_batch_round_trip(self):
+        # Mixed nominal + mispositioned + metallic flags must survive the
+        # array round trip per tube.
+        tubes = [
+            CNTInstance(Point(0.0, 1.0), Point(5.0, 2.0), mispositioned=True),
+            CNTInstance(Point(1.0, -1.0), Point(2.0, 7.0), mispositioned=True,
+                        metallic=True),
+            CNTInstance(Point(3.0, 0.0), Point(3.0, 9.0)),
+        ]
+        batch = CNTBatch.from_instances(tubes)
+        assert len(batch) == 3
+        assert batch.to_instances() == tubes
+
+    def test_output_codes_does_not_mutate_adjacency(self):
+        annotations = assemble_cell(standard_gate("NAND2")).annotations()
+        checker = ImmunityChecker(annotations)
+        batch = CNTBatch.from_instances(nominal_cnts(annotations, axis="x"))
+        adjacency = checker.adjacency_matrices(checker.pair_conduction(batch))
+        before = adjacency.copy()
+        checker.output_codes(adjacency)
+        assert (adjacency == before).all()
+
+    def test_cnt_batch_equality_is_elementwise(self):
+        tubes = [
+            CNTInstance(Point(0.0, 1.0), Point(5.0, 2.0), mispositioned=True),
+            CNTInstance(Point(1.0, -1.0), Point(2.0, 7.0), mispositioned=True,
+                        metallic=True),
+        ]
+        batch = CNTBatch.from_instances(tubes)
+        assert batch == CNTBatch.from_instances(tubes)
+        assert batch != CNTBatch.from_instances(tubes[:1])
+        assert batch != CNTBatch.from_instances(list(reversed(tubes)))
+        assert batch != "not a batch"
+        with pytest.raises(TypeError):
+            hash(batch)
+
+    def test_cnt_batch_shape_validation(self):
+        with pytest.raises(ImmunityAnalysisError):
+            CNTBatch(np.zeros((3, 2)), np.zeros((2, 2)), np.zeros(3, dtype=bool))
+        with pytest.raises(ImmunityAnalysisError):
+            CNTBatch(np.zeros((3, 2)), np.zeros((3, 2)), np.zeros(2, dtype=bool))
+
+    def test_cnt_batch_scalar_flags_broadcast(self):
+        batch = CNTBatch(np.zeros((3, 2)), np.ones((3, 2)), metallic=True,
+                         mispositioned=False)
+        assert batch.metallic.shape == (3,) and batch.metallic.all()
+        assert batch.mispositioned.shape == (3,) \
+            and not batch.mispositioned.any()
+
+    @pytest.mark.parametrize("technique", ["vulnerable", "baseline", "compact"])
+    def test_truth_table_matches_reference(self, technique):
+        cell = assemble_cell(standard_gate("NAND3"), technique=technique, scheme=1)
+        annotations = cell.annotations()
+        checker = ImmunityChecker(annotations)
+        nominal = nominal_cnts(annotations, axis="x")
+        rng = np.random.default_rng(17)
+        for _ in range(25):
+            strays = random_mispositioned_cnts(
+                annotations, 5, rng, axis="x", metallic_fraction=0.25
+            )
+            batched = checker.truth_table(nominal + strays)
+            reference = checker.truth_table_reference(nominal + strays)
+            assert batched.inputs == reference.inputs
+            assert batched.outputs == reference.outputs
+
+    def test_engines_identical_for_fixed_seed(self):
+        cell = assemble_cell(standard_gate("NAND2"), technique="vulnerable",
+                             scheme=1)
+        loop = run_immunity_trials(cell, trials=120, cnts_per_trial=4,
+                                   seed=2009, engine="loop")
+        batch = run_immunity_trials(cell, trials=120, cnts_per_trial=4,
+                                    seed=2009, engine="batch")
+        assert loop == batch
+        assert loop.failures > 0
+
+    def test_chunk_size_does_not_change_results(self):
+        cell = assemble_cell(standard_gate("NAND2"), technique="vulnerable",
+                             scheme=1)
+        results = [
+            run_immunity_trials(cell, trials=50, cnts_per_trial=4, seed=13,
+                                chunk_size=chunk)
+            for chunk in (1, 7, 50, 1000)
+        ]
+        assert all(result == results[0] for result in results)
+
+    def test_same_seed_same_result_across_runs(self):
+        cell = assemble_cell(standard_gate("NAND3"), technique="vulnerable",
+                             scheme=1)
+        first = run_immunity_trials(cell, trials=80, cnts_per_trial=4, seed=99)
+        second = run_immunity_trials(cell, trials=80, cnts_per_trial=4, seed=99)
+        assert first == second
+
+    def test_invalid_engine_rejected(self):
+        cell = assemble_cell(standard_gate("INV"))
+        with pytest.raises(ImmunityAnalysisError):
+            run_immunity_trials(cell, trials=5, engine="spice")
+
+    def test_invalid_chunk_size_rejected(self):
+        cell = assemble_cell(standard_gate("INV"))
+        with pytest.raises(ImmunityAnalysisError):
+            run_immunity_trials(cell, trials=5, chunk_size=0)
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_engine_parity_for_any_seed(self, seed):
+        cell = assemble_cell(standard_gate("NAND2"), technique="vulnerable",
+                             scheme=1)
+        loop = run_immunity_trials(cell, trials=20, cnts_per_trial=5,
+                                   seed=seed, engine="loop",
+                                   metallic_fraction=0.2)
+        batch = run_immunity_trials(cell, trials=20, cnts_per_trial=5,
+                                    seed=seed, engine="batch",
+                                    metallic_fraction=0.2)
+        assert loop == batch
+
+
+class TestSeedSharing:
+    """compare_techniques must attack every technique with the same defect
+    populations (the Figure 2 apples-to-apples contract)."""
+
+    def test_each_technique_sees_the_shared_seed(self):
+        results = compare_techniques("NAND2", trials=60, cnts_per_trial=4,
+                                     seed=21)
+        for technique, result in results.items():
+            cell = assemble_cell(standard_gate("NAND2"), technique=technique,
+                                 scheme=1)
+            direct = run_immunity_trials(cell, trials=60, cnts_per_trial=4,
+                                         seed=21)
+            assert result == direct, technique
+
+    def test_comparison_reproducible(self):
+        first = compare_techniques("NAND2", trials=40, seed=5)
+        second = compare_techniques("NAND2", trials=40, seed=5)
+        assert first == second
+
+    def test_comparison_engines_agree(self):
+        batch = compare_techniques("NAND2", trials=40, seed=5, engine="batch")
+        loop = compare_techniques("NAND2", trials=40, seed=5, engine="loop")
+        assert batch == loop
+
+
+class TestSweep:
+    def test_cartesian_coverage_and_order(self):
+        points = sweep(gates=("NAND2",), techniques=("vulnerable", "compact"),
+                       cnts_per_trial=(2, 4), trials=20, seed=3)
+        assert len(points) == 4
+        assert [(p.technique, p.cnts_per_trial) for p in points] == [
+            ("vulnerable", 2), ("compact", 2), ("vulnerable", 4), ("compact", 4),
+        ]
+
+    def test_techniques_share_populations_per_point(self):
+        """Points differing only in technique must reuse one child seed:
+        running the sweep twice (and with different technique subsets) gives
+        identical results for the shared points."""
+        both = sweep(gates=("NAND2",), techniques=("vulnerable", "compact"),
+                     cnts_per_trial=(3,), trials=30, seed=8)
+        compact_only = sweep(gates=("NAND2",), techniques=("compact",),
+                             cnts_per_trial=(3,), trials=30, seed=8)
+        assert both[1].result == compact_only[0].result
+
+    def test_seed_sequence_argument_not_mutated(self):
+        """sweep() must not advance a caller-supplied SeedSequence's spawn
+        counter: identical back-to-back calls give identical results."""
+        seed_sequence = np.random.SeedSequence(8)
+        kwargs = dict(gates=("NAND2",), techniques=("vulnerable",),
+                      cnts_per_trial=(3,), trials=30, seed=seed_sequence)
+        first = sweep(**kwargs)
+        second = sweep(**kwargs)
+        assert [p.result for p in first] == [p.result for p in second]
+        assert seed_sequence.n_children_spawned == 0
+
+    def test_sweep_children_do_not_alias_caller_spawns(self):
+        """sweep() derives its children under a reserved spawn key, so a
+        caller who spawns their own children from the same SeedSequence gets
+        independent defect populations, not sweep's."""
+        root = np.random.SeedSequence(2009)
+        child = root.spawn(1)[0]
+        cell = assemble_cell(standard_gate("NAND2"), technique="vulnerable",
+                             scheme=1)
+        own = run_immunity_trials(cell, trials=40, seed=child)
+        point = sweep(gates=("NAND2",), techniques=("vulnerable",),
+                      trials=40, seed=np.random.SeedSequence(2009))[0]
+        assert own != point.result
+
+    def test_process_pool_matches_serial(self):
+        kwargs = dict(gates=("NAND2",), techniques=("vulnerable", "compact"),
+                      cnts_per_trial=(2, 4), trials=25, seed=4)
+        assert sweep(**kwargs) == sweep(workers=2, **kwargs)
+
+    def test_metallic_fraction_dimension(self):
+        points = sweep(gates=("NAND2",), techniques=("compact",),
+                       cnts_per_trial=(4,), metallic_fraction=(0.0, 0.5),
+                       trials=40, seed=9)
+        clean, dirty = points
+        assert clean.result.immune
+        assert dirty.result.failure_rate > clean.result.failure_rate
 
 
 class TestMetallicCNTExtension:
