@@ -8,6 +8,8 @@ delay, energy and area against the equivalent 65 nm CMOS implementation
 from conftest import record
 
 from repro.analysis import format_fulladder, run_fulladder_case_study
+from repro.circuit import analyse_netlist
+from repro.flow import CNFETDesignKit, full_adder_netlist
 
 
 def test_fulladder_case_study(benchmark):
@@ -28,3 +30,37 @@ def test_fulladder_case_study(benchmark):
     )
     assert result["delay_gain"] > 2.5
     assert result["area_gain_scheme2"] > result["area_gain_scheme1"] > 1.0
+
+
+def test_fulladder_measured_timing_flow(benchmark):
+    """The full-adder flow on a *measured* timing library: the INV/NAND2
+    cells are characterised on the batch transient engine
+    (``timing_source="measured"``), the Liberty view records the origin,
+    and the waveform-calibrated critical path stays in the same regime as
+    the logical-effort estimate."""
+
+    def run():
+        kit = CNFETDesignKit(gate_set=("INV", "NAND2"),
+                             drive_strengths=(1.0, 2.0, 4.0),
+                             scheme=1, timing_source="measured")
+        result = kit.run_flow(full_adder_netlist())
+        return kit, result
+
+    kit, result = benchmark.pedantic(run, iterations=1, rounds=1)
+    reference = CNFETDesignKit(gate_set=("INV", "NAND2"),
+                               drive_strengths=(1.0, 2.0, 4.0), scheme=1)
+    estimated = analyse_netlist(full_adder_netlist(),
+                                reference.library.timing_library())
+    measured_delay = result.report.timing.critical_path_delay
+    record(
+        benchmark,
+        measured_delay_ps=round(measured_delay * 1e12, 2),
+        logical_effort_delay_ps=round(
+            estimated.critical_path_delay * 1e12, 2),
+        delay_gain_vs_cmos=round(result.report.delay_gain_vs_cmos, 3),
+    )
+    assert "/* timing_source : measured */" in kit.liberty()
+    assert measured_delay > 0
+    # Waveform-measured and logical-effort delays agree within a factor 3.
+    assert 1 / 3 < measured_delay / estimated.critical_path_delay < 3
+    assert result.report.delay_gain_vs_cmos > 1.0

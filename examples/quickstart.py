@@ -7,9 +7,11 @@ Walks the library's core loop in a few lines:
    baseline for comparison,
 3. run design-rule checking,
 4. verify the layout is functionally immune to mispositioned CNTs,
-5. write the cell to GDSII.
+5. measure the cell electrically across a multi-corner grid on the batch
+   transient engine,
+6. write the cell to GDSII (and assert the artifact really landed).
 
-Run with ``python examples/quickstart.py``.
+Run with ``PYTHONPATH=src python examples/quickstart.py``.
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ from __future__ import annotations
 import os
 
 from repro import assemble_cell, standard_gate
+from repro.cells import characterize_sweep, cnfet_technology
 from repro.core import area_saving
 from repro.geometry import GDSWriter, GDSWriterOptions, Layout
 from repro.immunity import run_immunity_trials
@@ -53,12 +56,29 @@ def main() -> None:
           f"-> {'100% immune' if immunity.immune else 'NOT immune'}")
     print()
 
-    # 5. Stream the cell out as GDSII.
+    # 5. Electrical characterisation: the whole (drive x load x corner)
+    # grid of this cell integrates as ONE vectorized transient batch.
+    sweep = characterize_sweep(
+        gate_names=("NAND3",),
+        drive_strengths=(1.0, 2.0),
+        load_capacitances_f=(1e-15, 4e-15),
+        corners={"tt": cnfet_technology(), "lv": cnfet_technology(vdd=0.9)},
+    )
+    nominal = sweep.point("NAND3", 1.0, 1e-15, 5e-12, "tt")
+    print(f"Characterised : {len(sweep.points)} corners in one batch "
+          f"(grid {sweep.grid().shape})")
+    print(f"  NAND3 1X @ 1 fF, tt: {nominal.worst_delay_s * 1e12:.2f} ps, "
+          f"{nominal.energy_per_cycle_j * 1e15:.3f} fJ/cycle")
+    print()
+
+    # 6. Stream the cell out as GDSII.
     layout = Layout("quickstart")
     layout.add_cell(cell.cell, top=True)
     writer = GDSWriter(cnfet_layer_stack(), GDSWriterOptions(unit_nm=CNFET_RULES.lambda_nm))
     path = os.path.join(os.path.dirname(__file__), "nand3_compact.gds")
     writer.write(layout, path)
+    assert os.path.exists(path) and os.path.getsize(path) > 0, \
+        f"GDSII artifact {path} was not written"
     print(f"GDSII written : {path} ({os.path.getsize(path)} bytes)")
 
 

@@ -4,11 +4,13 @@ from .experiments import (
     format_fig7,
     format_fulladder,
     run_all,
+    run_characterization,
     run_edp_summary,
     run_fig2_immunity,
     run_fig3_nand3,
     run_fig4_aoi31,
     run_fig7_fo4,
+    run_fo4_transient_sweep,
     run_fulladder_case_study,
     run_immunity_sweep,
     run_pitch_sensitivity,
@@ -20,12 +22,14 @@ __all__ = [
     "format_fig7",
     "format_fulladder",
     "run_all",
+    "run_characterization",
     "run_edp_summary",
     "run_fig2_immunity",
     "run_immunity_sweep",
     "run_fig3_nand3",
     "run_fig4_aoi31",
     "run_fig7_fo4",
+    "run_fo4_transient_sweep",
     "run_fulladder_case_study",
     "run_pitch_sensitivity",
     "run_table1",

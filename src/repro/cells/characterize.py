@@ -1,8 +1,24 @@
 """Standard-cell electrical characterisation.
 
-Turns a sized gate into the RC abstraction used by the gate-level analysis
-(:class:`~repro.circuit.logical_effort.CellTimingModel`), for either
-technology:
+Two complementary characterisation paths feed the gate-level analysis and
+the Liberty export:
+
+* :func:`characterize_gate` — the fast **logical-effort abstraction**: a
+  sized gate reduced to input capacitance, worst-path drive resistance and
+  output parasitics (:class:`~repro.circuit.logical_effort.CellTimingModel`).
+* :func:`characterize_sweep` — the **measured path**: every cell is
+  flattened to a transistor-level netlist
+  (:func:`gate_transistor_netlist`), stimulated with a sensitised input
+  pulse, and its 50 %-to-50 % delays and supply energy are measured on
+  waveforms from the vectorized batch transient engine
+  (:func:`~repro.circuit.simulator.run_transient_batch`).  One batch
+  integrates a whole ``(drive × load × slew × corner)`` grid per cell.
+  :func:`measured_timing_models` distils the grid back into linear-delay
+  :class:`CellTimingModel` entries so the Liberty export can carry
+  measured rather than estimated delays
+  (``build_library(timing_source="measured")``).
+
+Either technology can be instantiated:
 
 * **CNFET cells** instantiate :class:`~repro.devices.cnfet.CNFET` devices;
   the number of tubes per device follows from the drawn width and the CNT
@@ -15,14 +31,44 @@ technology:
 Drive resistance is the worst of the pull-up and pull-down path
 resistances; input capacitance is per pin; output parasitics sum the drain
 capacitances of devices on the output node.
+
+Batch-axis semantics of the sweep
+---------------------------------
+``characterize_sweep`` lays its grid out in ``itertools.product`` order —
+``(cell, drive, load, slew, corner)``, last axis fastest — and
+:meth:`CharacterizationSweep.grid` reshapes the flat point list back into
+that dense array:
+
+>>> from repro.cells.characterize import characterize_sweep, cnfet_technology
+>>> sweep = characterize_sweep(
+...     gate_names=("INV",), drive_strengths=(1.0, 2.0),
+...     load_capacitances_f=(1e-15, 4e-15), input_slews_s=(5e-12,),
+...     corners={"tt": cnfet_technology()})
+>>> sweep.grid().shape   # (cells, drives, loads, slews, corners)
+(1, 2, 2, 1, 1)
+>>> point = sweep.point("INV", 1.0, 4e-15, 5e-12, "tt")
+>>> point.delay_fall_s > 0 and point.energy_per_cycle_j > 0
+True
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..circuit.logical_effort import CellTimingModel
+from ..circuit.netlist import GND, VDD, TransistorNetlist
+from ..circuit.simulator import (
+    SimulationCase,
+    TransientResult,
+    TransientSimulator,
+    constant_source,
+    pulse_source,
+    run_transient_batch,
+)
 from ..devices.calibration import calibrated_cnfet_parameters
 from ..devices.cnfet import CNFET, CNFETParameters
 from ..devices.mosfet import MOSFET, MOSFETParameters, NMOS_65, PMOS_65
@@ -178,3 +224,354 @@ def characterize_gate(
         drive_resistance=drive_resistance,
         parasitic_capacitance=parasitic,
     )
+
+
+# ---------------------------------------------------------------------------
+# Measured characterisation: transistor netlists + the batch sweep
+# ---------------------------------------------------------------------------
+
+#: Load points used when distilling measured delays into a linear model.
+MEASURED_LOADS_F: Tuple[float, ...] = (1.0e-15, 4.0e-15)
+
+#: Input slew used for the measured timing models.
+MEASURED_SLEW_S = 5.0e-12
+
+
+def gate_transistor_netlist(
+    gate: GateNetworks,
+    tech: TechnologyConfig,
+    unit_width: float = 4.0,
+    drive_strength: float = 1.0,
+    load_capacitance: float = 0.0,
+    name: Optional[str] = None,
+) -> TransistorNetlist:
+    """Flatten one sized gate into a simulatable transistor netlist.
+
+    PUN devices sit between ``vdd`` and ``out``, PDN devices between
+    ``gnd`` and ``out``; the internal nets of the two series-parallel
+    networks are prefixed (``pu_``/``pd_``) so they cannot collide.  The
+    device of every transistor comes from :func:`device_for_width` at its
+    sized width, so the netlist embodies one (technology, drive) corner
+    and an optional output load.
+    """
+    sizing = size_gate(gate, unit_width, drive_strength)
+    netlist = TransistorNetlist(
+        name or f"{gate.name}_{drive_strength:g}X", vdd=tech.vdd
+    )
+
+    def lowered(net: str, prefix: str) -> str:
+        if net in (VDD, GND, "out") or net in gate.inputs:
+            return net
+        return f"{prefix}{net}"
+
+    for transistor in gate.pun.transistors:
+        device = device_for_width(
+            sizing.pun_widths[transistor.name] / unit_width, "p", tech
+        )
+        netlist.add_transistor(
+            transistor.name, device, gate=transistor.gate,
+            drain=lowered(transistor.drain, "pu_"),
+            source=lowered(transistor.source, "pu_"),
+        )
+    for transistor in gate.pdn.transistors:
+        device = device_for_width(
+            sizing.pdn_widths[transistor.name] / unit_width, "n", tech
+        )
+        netlist.add_transistor(
+            transistor.name, device, gate=transistor.gate,
+            drain=lowered(transistor.drain, "pd_"),
+            source=lowered(transistor.source, "pd_"),
+        )
+    if load_capacitance > 0:
+        netlist.add_capacitor("CLOAD", "out", load_capacitance)
+    netlist.declare_io(list(gate.inputs), ["out"])
+    return netlist
+
+
+def sensitizing_assignment(gate: GateNetworks, pin: str) -> Dict[str, bool]:
+    """Side-input values under which toggling ``pin`` toggles the output.
+
+    For the negation-free (positive-unate) pull-down functions of the
+    standard gates, the sensitised output always *falls* when ``pin``
+    rises, which is what the characterisation stimulus relies on.
+    """
+    if pin not in gate.inputs:
+        raise CharacterizationError(
+            f"Gate {gate.name!r} has no input {pin!r}; inputs: {gate.inputs}"
+        )
+    others = [name for name in gate.inputs if name != pin]
+    for bits in itertools.product((False, True), repeat=len(others)):
+        assignment = dict(zip(others, bits))
+        low = gate.output_value({pin: False, **assignment})
+        high = gate.output_value({pin: True, **assignment})
+        if low is not None and high is not None and low != high:
+            return assignment
+    raise CharacterizationError(
+        f"No side-input assignment sensitises {pin!r} of {gate.name!r}"
+    )
+
+
+@dataclass(frozen=True)
+class CellSweepPoint:
+    """Measured figures of one (cell, drive, load, slew, corner) corner."""
+
+    cell: str
+    drive_strength: float
+    load_capacitance_f: float
+    input_slew_s: float
+    corner: str
+    vdd: float
+    delay_rise_s: float          # input fall -> output rise
+    delay_fall_s: float          # input rise -> output fall
+    energy_per_cycle_j: float    # supply energy of one full output cycle
+
+    @property
+    def worst_delay_s(self) -> float:
+        return max(self.delay_rise_s, self.delay_fall_s)
+
+
+@dataclass
+class CharacterizationSweep:
+    """The dense result grid of :func:`characterize_sweep`.
+
+    ``points`` is flat in ``itertools.product`` order over
+    ``(cells, drive_strengths, loads, slews, corners)`` — last axis
+    fastest — and :meth:`grid` reshapes any per-point metric back into the
+    dense 5-D array.
+    """
+
+    cells: Tuple[str, ...]
+    drive_strengths: Tuple[float, ...]
+    load_capacitances_f: Tuple[float, ...]
+    input_slews_s: Tuple[float, ...]
+    corners: Tuple[str, ...]
+    points: List[CellSweepPoint]
+
+    @property
+    def shape(self) -> Tuple[int, int, int, int, int]:
+        return (
+            len(self.cells), len(self.drive_strengths),
+            len(self.load_capacitances_f), len(self.input_slews_s),
+            len(self.corners),
+        )
+
+    def grid(self, metric: str = "worst_delay_s") -> np.ndarray:
+        """Any per-point metric as a ``(cell, drive, load, slew, corner)``
+        array (``metric`` names a :class:`CellSweepPoint` attribute)."""
+        values = [getattr(point, metric) for point in self.points]
+        return np.array(values).reshape(self.shape)
+
+    def point(self, cell: str, drive_strength: float, load_capacitance_f: float,
+              input_slew_s: float, corner: str) -> CellSweepPoint:
+        """Look one grid point up by its coordinates."""
+        try:
+            flat = np.ravel_multi_index(
+                (
+                    self.cells.index(cell.upper()),
+                    self.drive_strengths.index(drive_strength),
+                    self.load_capacitances_f.index(load_capacitance_f),
+                    self.input_slews_s.index(input_slew_s),
+                    self.corners.index(corner),
+                ),
+                self.shape,
+            )
+        except ValueError:
+            raise CharacterizationError(
+                f"No sweep point ({cell}, {drive_strength}, "
+                f"{load_capacitance_f}, {input_slew_s}, {corner})"
+            ) from None
+        return self.points[flat]
+
+
+def _measure_case(result: TransientResult, pin: str, vdd: float) -> Tuple[float, float, float]:
+    """(rise delay, fall delay, energy) of one characterisation waveform."""
+    level = vdd / 2.0
+    in_rise = result.crossing_time(pin, level, rising=True)
+    out_fall = result.crossing_time("out", level, rising=False, after=in_rise)
+    in_fall = result.crossing_time(pin, level, rising=False, after=out_fall)
+    out_rise = result.crossing_time("out", level, rising=True, after=in_fall)
+    return out_rise - in_fall, out_fall - in_rise, result.supply_energy
+
+
+def characterize_sweep(
+    gate_names: Sequence[str] = ("INV", "NAND2"),
+    drive_strengths: Sequence[float] = (1.0, 2.0),
+    load_capacitances_f: Sequence[float] = MEASURED_LOADS_F,
+    input_slews_s: Sequence[float] = (MEASURED_SLEW_S,),
+    corners: Optional[Mapping[str, TechnologyConfig]] = None,
+    unit_width: float = 4.0,
+    switched_pin: Optional[str] = None,
+    engine: str = "batch",
+) -> CharacterizationSweep:
+    """Measure every cell across a (drive × load × slew × corner) grid.
+
+    For each cell the whole grid is lowered to topology-identical
+    :class:`~repro.circuit.simulator.SimulationCase` corners — device
+    sizes per drive, explicit output capacitors per load, stimulus edges
+    per slew, devices/supply per corner — and integrated in **one**
+    vectorized batch; the per-corner waveforms are then reduced to rise /
+    fall delay and energy.  ``engine="loop"`` runs the same cases one at a
+    time through the scalar reference engine (bit-identical results, used
+    by the regression tests).
+    """
+    from ..logic.functions import standard_gate
+
+    corners = dict(corners) if corners else {"nominal": cnfet_technology()}
+    if not (gate_names and drive_strengths and load_capacitances_f
+            and input_slews_s and corners):
+        raise CharacterizationError("characterize_sweep needs non-empty axes")
+    if engine not in ("batch", "loop"):
+        raise CharacterizationError(f"Unknown engine {engine!r}")
+
+    points: List[CellSweepPoint] = []
+    for gate_name in gate_names:
+        gate = standard_gate(gate_name)
+        pin = switched_pin or gate.inputs[0]
+        sides = sensitizing_assignment(gate, pin)
+
+        staged: List[Tuple[TransistorNetlist, float, float]] = []
+        estimates: List[float] = []
+        labels: List[Tuple[float, float, float, str, float]] = []
+        for drive, load, slew, (corner_name, tech) in itertools.product(
+            drive_strengths, load_capacitances_f, input_slews_s, corners.items()
+        ):
+            netlist = gate_transistor_netlist(
+                gate, tech, unit_width=unit_width, drive_strength=drive,
+                load_capacitance=load,
+            )
+            model = characterize_gate(
+                gate, tech, unit_width=unit_width, drive_strength=drive
+            )
+            estimates.append(max(model.stage_delay(load), 1.0e-13))
+            labels.append((drive, load, slew, corner_name, tech.vdd))
+            staged.append((netlist, tech.vdd, slew))
+
+        # Shared time base: the pulse must be slow enough for the laziest
+        # corner and sampled finely enough for the snappiest one.
+        slowest = max(estimates)
+        max_slew = max(input_slews_s)
+        delay = max(6.0 * slowest, 2.0 * max_slew)
+        width = max(10.0 * slowest, 4.0 * max_slew)
+        stop = delay + 2.0 * max_slew + width + max(10.0 * slowest, 2.0 * max_slew)
+        time_step = max(min(min(estimates) / 20.0, min(input_slews_s) / 4.0),
+                        stop / 8000.0, 1.0e-14)
+
+        built: List[SimulationCase] = []
+        for netlist, vdd, slew in staged:
+            sources = {pin: pulse_source(vdd, delay=delay, rise_time=slew,
+                                         width=width)}
+            for side, value in sides.items():
+                sources[side] = constant_source(vdd if value else 0.0)
+            initial = {"out": vdd}
+            for net in netlist.nets():
+                if net.startswith("pu_"):
+                    initial[net] = vdd
+                elif net.startswith("pd_"):
+                    initial[net] = 0.0
+            built.append(SimulationCase(netlist, sources, initial))
+
+        if engine == "batch":
+            results = run_transient_batch(built, stop_time=stop,
+                                          time_step=time_step)
+        else:
+            results = [
+                TransientSimulator(case.netlist, case.sources,
+                                   case.initial_conditions)
+                .run(stop, time_step, engine="loop")
+                for case in built
+            ]
+
+        for (drive, load, slew, corner_name, vdd), result in zip(labels, results):
+            rise, fall, energy = _measure_case(result, pin, vdd)
+            points.append(
+                CellSweepPoint(
+                    cell=gate.name,
+                    drive_strength=drive,
+                    load_capacitance_f=load,
+                    input_slew_s=slew,
+                    corner=corner_name,
+                    vdd=vdd,
+                    delay_rise_s=rise,
+                    delay_fall_s=fall,
+                    energy_per_cycle_j=energy,
+                )
+            )
+
+    return CharacterizationSweep(
+        cells=tuple(standard_gate(name).name for name in gate_names),
+        drive_strengths=tuple(drive_strengths),
+        load_capacitances_f=tuple(load_capacitances_f),
+        input_slews_s=tuple(input_slews_s),
+        corners=tuple(corners),
+        points=points,
+    )
+
+
+def format_characterization(sweep: CharacterizationSweep) -> str:
+    """Render a characterisation sweep as a text table."""
+    header = (
+        f"{'cell':>6} {'drive':>6} {'load(fF)':>9} {'slew(ps)':>9} "
+        f"{'corner':>8} {'t_rise(ps)':>11} {'t_fall(ps)':>11} {'E(fJ)':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for p in sweep.points:
+        lines.append(
+            f"{p.cell:>6} {p.drive_strength:>5g}X {p.load_capacitance_f * 1e15:>9.2f} "
+            f"{p.input_slew_s * 1e12:>9.2f} {p.corner:>8} "
+            f"{p.delay_rise_s * 1e12:>11.2f} {p.delay_fall_s * 1e12:>11.2f} "
+            f"{p.energy_per_cycle_j * 1e15:>8.3f}"
+        )
+    return "\n".join(lines)
+
+
+def measured_timing_models(
+    gate: GateNetworks,
+    tech: TechnologyConfig,
+    unit_width: float = 4.0,
+    drive_strengths: Sequence[float] = (1.0,),
+    loads: Sequence[float] = MEASURED_LOADS_F,
+    slew: float = MEASURED_SLEW_S,
+) -> Dict[float, CellTimingModel]:
+    """Distil measured waveform delays into linear Liberty-ready models.
+
+    Runs one batch sweep of the gate over ``drive_strengths × loads``,
+    fits worst-case delay against load per drive (least squares), and
+    returns models whose ``drive_resistance`` is the fitted slope and
+    ``parasitic_capacitance`` the zero-load intercept — so
+    ``stage_delay(load)`` reproduces the *measured* delays instead of the
+    logical-effort estimate.  Input capacitance keeps the analytical
+    per-pin value (the delay fit cannot observe it).
+    """
+    if len(loads) < 2:
+        raise CharacterizationError(
+            "measured_timing_models needs >= 2 load points for the delay fit"
+        )
+    sweep = characterize_sweep(
+        gate_names=(gate.name,),
+        drive_strengths=drive_strengths,
+        load_capacitances_f=loads,
+        input_slews_s=(slew,),
+        corners={"nominal": tech},
+        unit_width=unit_width,
+    )
+    delays = sweep.grid("worst_delay_s")[0, :, :, 0, 0]     # (drive, load)
+    load_axis = np.array(loads)
+    models: Dict[float, CellTimingModel] = {}
+    for drive_i, drive in enumerate(drive_strengths):
+        slope, intercept = np.polyfit(load_axis, delays[drive_i], 1)
+        if slope <= 0:
+            raise CharacterizationError(
+                f"Measured delay of {gate.name!r} at {drive:g}X does not "
+                "increase with load; fit is unusable"
+            )
+        analytical = characterize_gate(
+            gate, tech, unit_width=unit_width, drive_strength=drive
+        )
+        models[drive] = CellTimingModel(
+            cell_type=gate.name,
+            drive_strength=drive,
+            input_capacitance=analytical.input_capacitance,
+            drive_resistance=float(slope),
+            parasitic_capacitance=float(max(intercept, 0.0) / slope),
+        )
+    return models

@@ -5,6 +5,13 @@ timing views.  This writer emits the subset downstream tools (and our own
 parser-free tests) need: library-level units, and per-cell area, pin
 directions, pin capacitances and a single linear delay model expressed as
 ``intrinsic + resistance × load``.
+
+The delay numbers carry whatever timing view the library was built with:
+the logical-effort RC abstraction, or — for
+``build_library(timing_source="measured")`` — delays fitted to waveforms
+from the batch transient engine.  The export records the origin in a
+``/* timing_source : ... */`` comment so downstream consumers can tell
+the two apart.
 """
 
 from __future__ import annotations
@@ -34,6 +41,7 @@ def write_liberty(library: StandardCellLibrary, area_unit_um2: float = None) -> 
     lines.append("  current_unit : \"1uA\";")
     lines.append("  capacitive_load_unit (1, ff);")
     lines.append(f"  nom_voltage : {_fmt(library.technology.vdd)};")
+    lines.append(f"  /* timing_source : {library.timing_source} */")
     lines.append("")
 
     for cell in sorted(library.cells(), key=lambda c: c.name):

@@ -25,7 +25,15 @@ from ..errors import LibraryError
 from ..logic.functions import standard_gate
 from ..logic.network import GateNetworks
 from ..tech.lambda_rules import CMOS_RULES, CNFET_RULES, DesignRules
-from .characterize import TechnologyConfig, characterize_gate, cnfet_technology, cmos_technology
+from .characterize import (
+    MEASURED_LOADS_F,
+    MEASURED_SLEW_S,
+    TechnologyConfig,
+    characterize_gate,
+    cnfet_technology,
+    cmos_technology,
+    measured_timing_models,
+)
 
 #: Default gate set of the library (the cells of Table 1 plus the OAI duals
 #: and the AOI31 example of Figure 4).
@@ -77,12 +85,16 @@ class StandardCellLibrary:
     """A generated CNFET standard-cell library."""
 
     def __init__(self, name: str, scheme: int, technology: TechnologyConfig,
-                 unit_width: float, rules: DesignRules):
+                 unit_width: float, rules: DesignRules,
+                 timing_source: str = "logical_effort"):
         self.name = name
         self.scheme = scheme
         self.technology = technology
         self.unit_width = unit_width
         self.rules = rules
+        #: "logical_effort" (RC abstraction) or "measured" (delays fitted
+        #: to batch transient waveforms); recorded in the Liberty export.
+        self.timing_source = timing_source
         self._cells: Dict[str, LibraryCell] = {}
 
     # -- construction -------------------------------------------------------------
@@ -153,19 +165,38 @@ def build_library(
     technology: Optional[TechnologyConfig] = None,
     rules: DesignRules = CNFET_RULES,
     cmos_rules: DesignRules = CMOS_RULES,
+    timing_source: str = "logical_effort",
+    measured_loads: Sequence[float] = MEASURED_LOADS_F,
+    measured_slew: float = MEASURED_SLEW_S,
 ) -> StandardCellLibrary:
     """Generate a complete standard-cell library.
 
     Every cell gets the compact immune layout (or the requested technique),
     its timing characterisation, and the area of the equivalent CMOS cell
     for the comparisons of Section V.
+
+    ``timing_source`` selects the electrical view: ``"logical_effort"``
+    keeps the fast RC abstraction; ``"measured"`` runs each gate's drive
+    strengths through one batch transient sweep
+    (:func:`~repro.cells.characterize.measured_timing_models`) so the
+    Liberty export carries waveform-measured delays.
     """
     if scheme not in (SCHEME_STACKED, SCHEME_SIDE_BY_SIDE):
         raise LibraryError(f"Unknown scheme {scheme}")
+    if timing_source not in ("logical_effort", "measured"):
+        raise LibraryError(f"Unknown timing source {timing_source!r}")
     technology = technology or cnfet_technology()
-    library = StandardCellLibrary(name, scheme, technology, unit_width, rules)
+    library = StandardCellLibrary(name, scheme, technology, unit_width, rules,
+                                  timing_source=timing_source)
 
     for gate_name in gate_names:
+        gate_timing: Dict[float, object] = {}
+        if timing_source == "measured":
+            gate_timing = measured_timing_models(
+                standard_gate(gate_name), technology, unit_width=unit_width,
+                drive_strengths=drive_strengths, loads=measured_loads,
+                slew=measured_slew,
+            )
         for drive in drive_strengths:
             gate = standard_gate(gate_name)
             layout = assemble_cell(
@@ -177,7 +208,7 @@ def build_library(
                 rules=rules,
                 name=cell_key(gate_name, drive),
             )
-            timing = characterize_gate(
+            timing = gate_timing.get(drive) or characterize_gate(
                 gate, technology, unit_width=unit_width, drive_strength=drive
             )
             cmos_ref = cmos_cell_area(

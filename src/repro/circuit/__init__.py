@@ -14,6 +14,7 @@ from .fo4 import (
     fo4_load_capacitance,
     fo4_metrics,
     fo4_metrics_transient,
+    fo4_transient_sweep,
 )
 from .inverter import Inverter, cmos_inverter, cnfet_inverter
 from .logical_effort import (
@@ -32,13 +33,19 @@ from .netlist import (
     TransistorNetlist,
 )
 from .simulator import (
+    CompiledTransientBatch,
     InverterChainResult,
     PiecewiseLinearSource,
+    SimulationCase,
     TransientResult,
     TransientSimulator,
     build_inverter_chain,
+    constant_source,
     pulse_source,
+    run_transient_batch,
     simulate_inverter_chain,
+    simulate_inverter_chain_batch,
+    stability_substep,
     step_source,
 )
 from .spice_writer import save_spice, write_spice
@@ -47,12 +54,15 @@ __all__ = [
     "ExtractionParameters", "ExtractionReport", "NetParasitics", "ParasiticExtractor",
     "DELAY_FIT_CONSTANT", "FO4Comparison", "FO4Metrics", "compare_fo4",
     "fo4_load_capacitance", "fo4_metrics", "fo4_metrics_transient",
+    "fo4_transient_sweep",
     "Inverter", "cmos_inverter", "cnfet_inverter",
     "CellTimingModel", "PathTimingResult", "TimingLibrary", "analyse_netlist",
     "GND", "VDD", "CapacitorInstance", "GateInstance", "GateNetlist",
     "TransistorInstance", "TransistorNetlist",
-    "InverterChainResult", "PiecewiseLinearSource", "TransientResult",
-    "TransientSimulator", "build_inverter_chain", "pulse_source",
-    "simulate_inverter_chain", "step_source",
+    "CompiledTransientBatch", "InverterChainResult", "PiecewiseLinearSource",
+    "SimulationCase", "TransientResult", "TransientSimulator",
+    "build_inverter_chain", "constant_source", "pulse_source",
+    "run_transient_batch", "simulate_inverter_chain",
+    "simulate_inverter_chain_batch", "stability_substep", "step_source",
     "save_spice", "write_spice",
 ]

@@ -18,6 +18,7 @@ copies of itself, which is what "FO4 delay" means.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Sequence, Union
 
 from ..errors import SimulationError
 from .inverter import Inverter
@@ -123,3 +124,39 @@ def fo4_metrics_transient(inverter: Inverter, vdd: float = 1.0,
         drive_current_a=inverter.drive_current(vdd),
         supply_voltage=vdd,
     )
+
+
+def fo4_transient_sweep(
+    inverters: Sequence[Inverter],
+    vdd: Union[float, Sequence[float]] = 1.0,
+    stages: int = 5,
+    fanout: int = 4,
+) -> List[FO4Metrics]:
+    """Waveform-level FO4 metrics for many inverter corners in one batch.
+
+    The multi-corner counterpart of :func:`fo4_metrics_transient`: every
+    corner's five-stage chain (a CNT-count/pitch sweep, a supply sweep, or
+    the CMOS reference riding along) is integrated in a single vectorized
+    :func:`~repro.circuit.simulator.run_transient_batch` call, which is
+    how Figure 7's waveform cross-checks stay affordable at many corners.
+
+    ``vdd`` is a shared scalar or one supply per corner.
+    """
+    from .simulator import _per_corner_supplies, simulate_inverter_chain_batch
+
+    if stages < 3:
+        raise SimulationError("The FO4 chain needs at least 3 stages")
+    supplies = _per_corner_supplies(vdd, len(inverters))
+    results = simulate_inverter_chain_batch(
+        inverters, vdd=supplies, stages=stages, fanout=fanout
+    )
+    return [
+        FO4Metrics(
+            delay_s=result.mid_stage_delay_s,
+            energy_per_cycle_j=result.energy_per_cycle_j,
+            load_capacitance_f=fo4_load_capacitance(inverter, fanout),
+            drive_current_a=inverter.drive_current(supply),
+            supply_voltage=supply,
+        )
+        for inverter, supply, result in zip(inverters, supplies, results)
+    ]

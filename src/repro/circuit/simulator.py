@@ -6,17 +6,102 @@ compact models.  Every internal net carries a lumped capacitance (device
 loading plus any explicit capacitors); device currents charge and discharge
 those capacitances.  Integration is explicit with adaptive sub-stepping,
 which is robust for the gate-sized circuits the experiments need (inverter
-chains, a full adder) and keeps the implementation dependency-free.
+chains, logic gates, a full adder) and keeps the implementation
+dependency-free.
+
+Engines
+-------
+Two engines implement identical integration semantics:
+
+* the **batch engine** (default) lowers each :class:`SimulationCase` once
+  into NumPy structure arrays (see *Precompiled array layout* below) and
+  integrates every case of a batch as one ``(batch, nets)`` state matrix
+  with array operations — one :func:`run_transient_batch` call sweeps many
+  stimuli/corners (supply voltage, CNT pitch / tubes per device, load
+  capacitance, input slew) in a single vectorized integration;
+* the **loop engine** (``engine="loop"``) is the compatibility path: one
+  case at a time, one device at a time, through the scalar
+  :meth:`TransientSimulator._channel_current` reference, exactly as the
+  original implementation.
+
+Both engines produce **bit-identical waveforms and supply charge** for the
+same case.  The contract mirrors the Monte Carlo immunity engine of
+:mod:`repro.immunity` (``engine="batch"`` vs ``engine="loop"``): every
+floating-point operation of the scalar loop has an elementwise vector
+counterpart executed in the same order, and the one transcendental in the
+inner loop (the alpha-power law) goes through the shared
+:func:`~repro.devices.powerlaw.alpha_power` kernel in both engines.
+``benchmarks/bench_sim_scale.py`` asserts both the contract and a >=10x
+speedup floor at figure-sized batches; ``docs/architecture.md`` documents
+the design.
+
+Precompiled array layout
+------------------------
+:class:`CompiledTransientBatch` lowers ``B`` topology-identical cases with
+``T`` transistors, ``N`` nets (``I`` of them integrated) and ``S`` driven
+source nets into:
+
+===================  ==========  ====================================
+array                shape       contents
+===================  ==========  ====================================
+``gate/drain/src``   ``(T,)``    net index of each device terminal
+``is_n``             ``(T,)``    device conduction polarity
+``prefactor``        ``(B, T)``  saturation current at full drive [A]
+``vth``              ``(B, T)``  threshold voltage magnitude [V]
+``nominal_ov``       ``(B, T)``  overdrive the prefactor is quoted at
+``alpha``            ``(B, T)``  alpha-power saturation index
+``capacitance``      ``(B, I)``  lumped capacitance per integrated net
+``pwl times/vals``   ``(B,S,P)`` padded source breakpoints
+``voltages``         ``(B, N)``  the integration state matrix
+===================  ==========  ====================================
+
+Per-case quantities (``prefactor`` .. ``capacitance``) carry the batch
+axis, so corners may vary device parameters, loading, supply and stimuli;
+the topology (net list, device connectivity and polarity, driven nets)
+must match across the batch.
+
+Stability sub-stepping rule
+---------------------------
+Output samples land every ``time_step``; internally each sample interval
+is integrated in sub-steps of ``min(time_step, max(2 fs, stop_time /
+40000))``.  A few tens of thousands of sub-steps per run keeps the
+explicit integration stable for the RC time constants of gate-sized
+circuits without making long runs unaffordable; the rule lives in
+:func:`stability_substep` and is shared verbatim by both engines.
+
+Batch-axis semantics
+--------------------
+The batch axis is first-class: :func:`run_transient_batch` takes a list of
+:class:`SimulationCase` and returns one :class:`TransientResult` per case,
+in order.
+
+>>> from repro.circuit import (SimulationCase, build_inverter_chain,
+...                            cmos_inverter, run_transient_batch,
+...                            step_source)
+>>> chain = build_inverter_chain(cmos_inverter(), stages=1, fanout=1, vdd=1.0)
+>>> cases = [SimulationCase(chain,
+...                         {"in": step_source(1.0, 2e-12, slew)},
+...                         initial_conditions={"n1": 1.0})
+...          for slew in (1e-12, 4e-12)]          # an input-slew sweep
+>>> fast, slow = run_transient_batch(cases, stop_time=50e-12,
+...                                  time_step=0.5e-12)
+>>> bool(fast.voltage("n1")[-1] < 0.1 and slow.voltage("n1")[-1] < 0.1)
+True
+>>> bool(fast.crossing_time("n1", 0.5, rising=False) <
+...      slow.crossing_time("n1", 0.5, rising=False))
+True
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..devices.cnfet import CNFET
+from ..devices.mosfet import MOSFET
 from ..errors import SimulationError
 from .inverter import Inverter
 from .netlist import GND, VDD, TransistorNetlist
@@ -24,6 +109,27 @@ from .netlist import GND, VDD, TransistorNetlist
 #: Floor applied to node capacitances so the explicit integrator stays stable
 #: even on nets with negligible extracted capacitance [F].
 MINIMUM_NODE_CAPACITANCE = 1.0e-18
+
+#: Smallest internal sub-step the stability rule will choose [s].
+MINIMUM_SUBSTEP_S = 2.0e-15
+
+#: Upper bound on the number of sub-steps per run implied by the rule.
+SUBSTEP_BUDGET = 40000.0
+
+
+def stability_substep(stop_time: float, time_step: float) -> float:
+    """The shared sub-step rule of both engines.
+
+    A few hundred sub-steps per output sample keeps the explicit
+    integration stable for the RC time constants of gate-sized circuits
+    without making long runs unaffordable:
+
+    >>> stability_substep(stop_time=100e-12, time_step=1e-12) == 2.5e-15
+    True
+    >>> stability_substep(stop_time=4e-12, time_step=1e-12)  # 2 fs floor
+    2e-15
+    """
+    return min(time_step, max(MINIMUM_SUBSTEP_S, stop_time / SUBSTEP_BUDGET))
 
 
 @dataclass
@@ -69,6 +175,11 @@ def pulse_source(vdd: float, delay: float, rise_time: float, width: float) -> Pi
             (delay + 2 * rise_time + width, 0.0),
         ]
     )
+
+
+def constant_source(level: float) -> PiecewiseLinearSource:
+    """A DC level (used to hold side inputs during characterisation)."""
+    return PiecewiseLinearSource([(0.0, level)])
 
 
 @dataclass
@@ -140,8 +251,455 @@ class TransientResult:
         return self.supply_charge * self.vdd
 
 
+# ---------------------------------------------------------------------------
+# Batch engine: cases, compilation, vectorized integration
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SimulationCase:
+    """One corner of a batch transient run.
+
+    A case bundles a netlist (which carries the device instances, loading
+    and supply of that corner), the stimulus of every driven net, and
+    optional initial conditions.  All cases of one batch must share the
+    same *topology* — net names and order, device connectivity and
+    polarity, and the set of driven nets — while device parameters,
+    capacitances, supply voltage, stimuli and initial conditions are free
+    to vary per case.
+    """
+
+    netlist: TransistorNetlist
+    sources: Mapping[str, PiecewiseLinearSource]
+    initial_conditions: Optional[Mapping[str, float]] = None
+
+
+def _device_power_law(device) -> Tuple[float, float, float, float]:
+    """Lower one compact model to ``(prefactor, vth, nominal_ov, alpha)``.
+
+    ``prefactor`` is the saturation current at nominal overdrive, built
+    with the same association order as the scalar ``ids`` so the batch
+    product ``prefactor * ratio ** alpha`` is bit-identical to the loop
+    engine's evaluation.
+    """
+    params = device.parameters
+    if isinstance(device, CNFET):
+        prefactor = (
+            device.num_tubes
+            * params.on_current_per_tube
+            * (device.screening ** params.current_screening_power)
+        )
+    elif isinstance(device, MOSFET):
+        prefactor = params.saturation_current_per_um * device.width_um
+    else:  # pragma: no cover - TransistorInstance already validates this
+        raise SimulationError(
+            f"Unsupported device type {type(device).__name__}"
+        )
+    nominal_ov = params.nominal_vdd - params.threshold_voltage
+    return prefactor, params.threshold_voltage, nominal_ov, params.alpha
+
+
+class CompiledTransientBatch:
+    """A batch of topology-identical cases lowered to structure arrays.
+
+    Compile once, integrate many times: the constructor performs all
+    name-based work (net indexing, terminal lowering, capacitance
+    extraction, PWL padding); :meth:`integrate` then runs the explicit
+    sub-stepped integration purely on arrays.
+    """
+
+    def __init__(self, cases: Sequence[SimulationCase]):
+        if not cases:
+            raise SimulationError("A batch needs at least one SimulationCase")
+        self.cases = list(cases)
+        first = self.cases[0].netlist
+        self._topology_nets: List[str] = first.nets()
+        self.source_nets: List[str] = list(self.cases[0].sources)
+        # A source may drive a net no device references (the loop engine
+        # simply records its waveform); give such nets state columns too so
+        # the engines stay bit-identical.
+        self.net_names: List[str] = self._topology_nets + [
+            net for net in self.source_nets if net not in self._topology_nets
+        ]
+        self._validate_topology()
+
+        index = {net: i for i, net in enumerate(self.net_names)}
+        batch = len(self.cases)
+        self.batch_size = batch
+
+        # -- terminals ----------------------------------------------------
+        transistors = first.transistors
+        self.gate_idx = np.array([index[t.gate] for t in transistors], dtype=np.intp)
+        self.drain_idx = np.array([index[t.drain] for t in transistors], dtype=np.intp)
+        self.source_idx = np.array([index[t.source] for t in transistors], dtype=np.intp)
+        self.is_n = np.array([t.polarity == "n" for t in transistors], dtype=bool)
+
+        # -- per-case device parameters (B, T) ----------------------------
+        rows = [
+            [_device_power_law(t.device) for t in case.netlist.transistors]
+            for case in self.cases
+        ]
+        params = np.array(rows, dtype=float)          # (B, T, 4)
+        if params.size:
+            self.prefactor = np.ascontiguousarray(params[:, :, 0])
+            self.vth = np.ascontiguousarray(params[:, :, 1])
+            self.nominal_ov = np.ascontiguousarray(params[:, :, 2])
+            self.alpha = np.ascontiguousarray(params[:, :, 3])
+        else:
+            shape = (batch, 0)
+            self.prefactor = np.zeros(shape)
+            self.vth = np.zeros(shape)
+            self.nominal_ov = np.ones(shape)
+            self.alpha = np.ones(shape)
+
+        # -- integrated nets and their capacitance (B, I) -----------------
+        driven = set(self.source_nets)
+        self.integrated_nets = [
+            net for net in self._topology_nets
+            if net not in (VDD, GND) and net not in driven
+        ]
+        self.integrated_idx = np.array(
+            [index[net] for net in self.integrated_nets], dtype=np.intp
+        )
+        self.capacitance = np.array(
+            [
+                [
+                    max(case.netlist.node_capacitance(net), MINIMUM_NODE_CAPACITANCE)
+                    for net in self.integrated_nets
+                ]
+                for case in self.cases
+            ],
+            dtype=float,
+        ).reshape(batch, len(self.integrated_nets))
+
+        # -- accumulation schedule ----------------------------------------
+        # The loop engine visits device terminals in interleaved order
+        # (drain then source, device by device) and accumulates each net's
+        # current with sequential ``+=``.  Terminal "slots" reproduce that
+        # order: slot 2k is device k's drain, slot 2k+1 its source.  Slots
+        # are grouped by *occurrence rank* per net — rank r holds each
+        # net's (r+1)-th contribution — so every rank is one buffered
+        # fancy-index add (all nets unique within a rank) and the per-net
+        # addition order matches the scalar engine exactly.
+        integrated_pos = {net: i for i, net in enumerate(self.integrated_nets)}
+        slot_targets: List[int] = []
+        for t in transistors:
+            slot_targets.append(integrated_pos.get(t.drain, -1))
+            slot_targets.append(integrated_pos.get(t.source, -1))
+        occurrence: Dict[int, int] = {}
+        ranked: Dict[int, List[Tuple[int, int]]] = {}
+        for slot, target in enumerate(slot_targets):
+            if target < 0:
+                continue
+            rank = occurrence.get(target, 0)
+            occurrence[target] = rank + 1
+            ranked.setdefault(rank, []).append((slot, target))
+        # Each rank entry is (device positions, signed-contribution signs,
+        # target net positions): slot 2k (a drain) contributes -i_drain[k],
+        # slot 2k+1 (a source) contributes +i_drain[k].
+        self.rank_schedule: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = [
+            (
+                np.array([slot >> 1 for slot, _ in pairs], dtype=np.intp),
+                np.array([1.0 if slot & 1 else -1.0 for slot, _ in pairs]),
+                np.array([target for _, target in pairs], dtype=np.intp),
+            )
+            for rank, pairs in sorted(ranked.items())
+        ]
+
+        # Supply accounting: the loop engine folds the Vdd-terminal
+        # contributions in the same interleaved order, so keep (sign,
+        # device) pairs in slot order: +i_drain for a drain on Vdd,
+        # -i_drain (= i_source) for a source on Vdd.
+        self.supply_terms: List[Tuple[float, int]] = []
+        for position, t in enumerate(transistors):
+            if t.drain == VDD:
+                self.supply_terms.append((+1.0, position))
+            if t.source == VDD:
+                self.supply_terms.append((-1.0, position))
+
+        # -- per-case rails, clamp bounds, initial state ------------------
+        self.vdd = np.array([case.netlist.vdd for case in self.cases])
+        self.clamp_low = np.array(
+            [-0.1 * case.netlist.vdd for case in self.cases]
+        )[:, None]
+        self.clamp_high = np.array(
+            [1.1 * case.netlist.vdd for case in self.cases]
+        )[:, None]
+
+        self.initial_voltages = np.zeros((batch, len(self.net_names)))
+        self.initial_voltages[:, index[VDD]] = self.vdd
+        for case_i, case in enumerate(self.cases):
+            conditions = dict(case.initial_conditions or {})
+            for net in self.integrated_nets:
+                self.initial_voltages[case_i, index[net]] = conditions.get(net, 0.0)
+            for net in self.source_nets:
+                self.initial_voltages[case_i, index[net]] = \
+                    case.sources[net].value(0.0)
+
+        # -- padded PWL tables (B, S, P) ----------------------------------
+        self.source_cols = np.array(
+            [index[net] for net in self.source_nets], dtype=np.intp
+        )
+        longest = 1
+        for case in self.cases:
+            for net in self.source_nets:
+                longest = max(longest, len(case.sources[net].points))
+        shape = (batch, len(self.source_nets), longest)
+        self.pwl_times = np.full(shape, np.inf)
+        self.pwl_values = np.zeros(shape)
+        for case_i, case in enumerate(self.cases):
+            for source_i, net in enumerate(self.source_nets):
+                points = list(case.sources[net].points)
+                for point_i, (t, v) in enumerate(points):
+                    self.pwl_times[case_i, source_i, point_i] = t
+                    self.pwl_values[case_i, source_i, point_i] = v
+                # Pad with the final value so interpolation into the pad
+                # region reproduces the "hold last value" rule exactly.
+                self.pwl_values[case_i, source_i, len(points):] = points[-1][1]
+
+    # -- validation -------------------------------------------------------
+
+    def _validate_topology(self) -> None:
+        reference = self.cases[0].netlist
+        signature = [
+            (t.gate, t.drain, t.source, t.polarity) for t in reference.transistors
+        ]
+        for case in self.cases:
+            missing = [
+                net for net in case.netlist.inputs if net not in case.sources
+            ]
+            if missing:
+                raise SimulationError(
+                    f"No source provided for input nets {missing}"
+                )
+            if case.netlist.nets() != self._topology_nets:
+                raise SimulationError(
+                    "Batch cases must share one topology: net lists differ "
+                    f"({case.netlist.name!r} vs {reference.name!r})"
+                )
+            if [
+                (t.gate, t.drain, t.source, t.polarity)
+                for t in case.netlist.transistors
+            ] != signature:
+                raise SimulationError(
+                    "Batch cases must share one topology: device "
+                    f"connectivity differs ({case.netlist.name!r} vs "
+                    f"{reference.name!r})"
+                )
+            if set(case.sources) != set(self.source_nets):
+                raise SimulationError(
+                    "Batch cases must drive the same nets; "
+                    f"{sorted(case.sources)} != {sorted(self.source_nets)}"
+                )
+
+    # -- stimulus ---------------------------------------------------------
+
+    def _evaluate_pwl(self, case_i: int, source_i: int,
+                      times: np.ndarray) -> np.ndarray:
+        """One source's values at the given instants: ``(len(times),)``.
+
+        Vectorized mirror of :meth:`PiecewiseLinearSource.value`: locate
+        the first breakpoint at or after ``t`` (``searchsorted`` over the
+        padded breakpoints) and interpolate with the same expression;
+        padded entries (``t = inf``, value held) resolve to the last real
+        value, and ``t`` at or before the first breakpoint resolves to the
+        first value through the degenerate-segment branch.
+        """
+        longest = self.pwl_times.shape[-1]
+        breakpoints = self.pwl_times[case_i, source_i]
+        levels = self.pwl_values[case_i, source_i]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            upper = np.searchsorted(breakpoints, times, side="left")
+            hi = np.minimum(upper, longest - 1)
+            lo = np.maximum(upper - 1, 0)
+            t0, t1 = breakpoints[lo], breakpoints[hi]
+            v0, v1 = levels[lo], levels[hi]
+            interpolated = v0 + (v1 - v0) * (times - t0) / (t1 - t0)
+            return np.where(t1 == t0, v1, interpolated)
+
+    def _source_values(self, times: np.ndarray) -> np.ndarray:
+        """Evaluate every PWL source at every instant: ``(len(times), B, S)``.
+
+        Evaluated one (case, source) pair at a time, so no temporary
+        exceeds ``len(times)`` elements beyond the returned array itself.
+        """
+        batch, sources, _ = self.pwl_times.shape
+        values = np.empty((len(times), batch, sources))
+        for case_i in range(batch):
+            for source_i in range(sources):
+                values[:, case_i, source_i] = self._evaluate_pwl(
+                    case_i, source_i, times
+                )
+        return values
+
+    def _compressed_source_schedule(
+        self, step_times: List[float]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Source values for only the sub-steps where any source changes.
+
+        Returns ``(changed, values)``: a boolean per sub-step and a
+        ``(changed.sum(), B, S)`` value matrix for exactly those steps.
+        Stimuli are flat outside their PWL edges, so this keeps the
+        precomputed stimulus table a few edge-windows long instead of
+        one row per sub-step (which at 40000 sub-steps x wide batches
+        costs hundreds of MB).
+        """
+        times = np.asarray(step_times)
+        batch, sources, _ = self.pwl_times.shape
+        changed = np.zeros(len(times), dtype=bool)
+        changed[0] = True
+        for case_i in range(batch):
+            for source_i in range(sources):
+                values = self._evaluate_pwl(case_i, source_i, times)
+                changed[1:] |= values[1:] != values[:-1]
+        return changed, self._source_values(times[changed])
+
+    # -- integration ------------------------------------------------------
+
+    def _device_currents(self, voltages: np.ndarray) -> np.ndarray:
+        """Current out of each device's drain terminal: ``(B, T)``.
+
+        Elementwise mirror of the loop engine's ``_channel_current``: the
+        conduction direction is folded into ``(vgs, vds)`` relative to the
+        low (n-type) or high (p-type) channel terminal, and the sign of the
+        drain current follows the terminal ordering.  Inactive lanes
+        (``overdrive <= 0`` or ``vds <= 0``) are masked to exactly zero.
+        """
+        gate_v = voltages[:, self.gate_idx]
+        drain_v = voltages[:, self.drain_idx]
+        source_v = voltages[:, self.source_idx]
+        high = np.maximum(drain_v, source_v)
+        low = np.minimum(drain_v, source_v)
+        vds = high - low
+        vgs = np.where(self.is_n, gate_v - low, high - gate_v)
+        overdrive = vgs - self.vth
+        active = (overdrive > 0.0) & (vds > 0.0)
+        # Inactive lanes get a harmless positive base so the power/division
+        # lanes never see zero or negative operands.
+        safe_overdrive = np.where(active, overdrive, 1.0)
+        ratio = safe_overdrive / self.nominal_ov
+        saturation = self.prefactor * np.power(ratio, self.alpha)
+        triode_ratio = vds / safe_overdrive
+        magnitude = np.where(
+            vds >= overdrive,
+            saturation,
+            saturation * triode_ratio * (2.0 - triode_ratio),
+        )
+        magnitude = np.where(active, magnitude, 0.0)
+        return np.where(drain_v >= source_v, magnitude, -magnitude)
+
+    def integrate(self, stop_time: float, time_step: float) -> List[TransientResult]:
+        """Integrate every case of the batch over one shared time base."""
+        if stop_time <= 0 or time_step <= 0:
+            raise SimulationError("stop_time and time_step must be positive")
+        sample_count = int(math.ceil(stop_time / time_step)) + 1
+        times = np.linspace(0.0, stop_time, sample_count)
+        substep = stability_substep(stop_time, time_step)
+
+        # The sub-step schedule is deterministic, so enumerate it (and
+        # evaluate every PWL source over it) once, up front.  The schedule
+        # loop mirrors the loop engine token for token: sources are read at
+        # the *start* of each sub-step, and the sample recorded at a
+        # boundary still holds the source value of the previous sub-step.
+        step_times: List[float] = []
+        step_sizes: List[float] = []
+        steps_per_segment: List[int] = []
+        for sample_index, sample_time in enumerate(times[:-1]):
+            segment_end = times[sample_index + 1]
+            time = sample_time
+            count = 0
+            while time < segment_end - 1e-21:
+                dt = min(substep, segment_end - time)
+                step_times.append(time)
+                step_sizes.append(dt)
+                count += 1
+                time += dt
+            steps_per_segment.append(count)
+        if self.source_nets and step_times:
+            changed, source_values = self._compressed_source_schedule(step_times)
+        else:
+            source_values = None
+            changed = None
+
+        batch = self.batch_size
+        voltages = self.initial_voltages.copy()
+        waveforms = np.empty((batch, sample_count, len(self.net_names)))
+        supply_charge = np.zeros(batch)
+        integrated = self.integrated_idx
+        capacitance = self.capacitance
+        source_cols = self.source_cols
+        supply = np.zeros(batch)
+        currents = np.zeros((batch, integrated.size))
+
+        step = 0
+        write_index = 0
+        for sample_index in range(sample_count):
+            waveforms[:, sample_index, :] = voltages
+            if sample_index == sample_count - 1:
+                break
+            for _ in range(steps_per_segment[sample_index]):
+                dt = step_sizes[step]
+                if source_values is not None and changed[step]:
+                    voltages[:, source_cols] = source_values[write_index]
+                    write_index += 1
+                drain_current = self._device_currents(voltages)
+                if self.supply_terms:
+                    supply.fill(0.0)
+                    for sign, device in self.supply_terms:
+                        if sign > 0:
+                            supply += drain_current[:, device]
+                        else:
+                            supply -= drain_current[:, device]
+                    supply_charge += supply * dt
+                currents.fill(0.0)
+                for devices, signs, targets in self.rank_schedule:
+                    currents[:, targets] += drain_current[:, devices] * signs
+                np.multiply(currents, dt, out=currents)
+                np.divide(currents, capacitance, out=currents)
+                node_voltages = voltages[:, integrated]
+                np.add(node_voltages, currents, out=node_voltages)
+                np.maximum(node_voltages, self.clamp_low, out=node_voltages)
+                np.minimum(node_voltages, self.clamp_high, out=node_voltages)
+                voltages[:, integrated] = node_voltages
+                step += 1
+
+        results: List[TransientResult] = []
+        for case_i in range(batch):
+            case_waveforms = {
+                net: waveforms[case_i, :, net_i]
+                for net_i, net in enumerate(self.net_names)
+            }
+            results.append(
+                TransientResult(
+                    time=times,
+                    waveforms=case_waveforms,
+                    supply_charge=float(supply_charge[case_i]),
+                    vdd=float(self.vdd[case_i]),
+                )
+            )
+        return results
+
+
+def run_transient_batch(cases: Sequence[SimulationCase], stop_time: float,
+                        time_step: float) -> List[TransientResult]:
+    """Simulate many corners in one vectorized integration.
+
+    Every case must share one topology (see :class:`SimulationCase`) and
+    the whole batch shares one time base; each case keeps its own device
+    parameters, loading, supply, stimuli and initial conditions.  Returns
+    one :class:`TransientResult` per case, in order, bit-identical to
+    running each case through ``TransientSimulator.run(engine="loop")``.
+    """
+    return CompiledTransientBatch(cases).integrate(stop_time, time_step)
+
+
 class TransientSimulator:
-    """Explicit nodal transient solver for a :class:`TransistorNetlist`."""
+    """Explicit nodal transient solver for a :class:`TransistorNetlist`.
+
+    ``run`` integrates one case; it is a thin compatibility path over the
+    batch engine (a batch of one), with ``engine="loop"`` selecting the
+    scalar per-substep reference implementation.  Both produce
+    bit-identical waveforms and supply charge.
+    """
 
     def __init__(self, netlist: TransistorNetlist,
                  sources: Mapping[str, PiecewiseLinearSource],
@@ -153,9 +711,32 @@ class TransientSimulator:
             raise SimulationError(f"No source provided for input nets {missing}")
         self.initial_conditions = dict(initial_conditions or {})
 
-    def run(self, stop_time: float, time_step: float) -> TransientResult:
+    def as_case(self) -> SimulationCase:
+        """This simulator's configuration as a batchable case."""
+        return SimulationCase(
+            netlist=self.netlist,
+            sources=self.sources,
+            initial_conditions=self.initial_conditions,
+        )
+
+    def run(self, stop_time: float, time_step: float,
+            engine: str = "batch") -> TransientResult:
         """Integrate from 0 to ``stop_time`` with output samples every
-        ``time_step`` (internally sub-stepped for stability)."""
+        ``time_step`` (internally sub-stepped for stability).
+
+        ``engine`` selects the vectorized batch integrator (default) or
+        the scalar compatibility loop; results are bit-identical.
+        """
+        if engine == "batch":
+            return run_transient_batch([self.as_case()], stop_time, time_step)[0]
+        if engine != "loop":
+            raise SimulationError(f"Unknown transient engine {engine!r}")
+        return self._run_loop(stop_time, time_step)
+
+    def _run_loop(self, stop_time: float, time_step: float) -> TransientResult:
+        """The scalar reference integrator (one net dict, one device at a
+        time) — the shape the batch engine mirrors operation for
+        operation."""
         if stop_time <= 0 or time_step <= 0:
             raise SimulationError("stop_time and time_step must be positive")
         netlist = self.netlist
@@ -179,10 +760,7 @@ class TransientSimulator:
         waveforms = {net: np.zeros(sample_count) for net in voltages}
         supply_charge = 0.0
 
-        # Sub-step limit: a few hundred sub-steps per output sample keeps the
-        # explicit integration stable for the RC time constants of these
-        # gate-sized circuits without making long runs unaffordable.
-        substep = min(time_step, max(2.0e-15, stop_time / 40000.0))
+        substep = stability_substep(stop_time, time_step)
 
         for sample_index, sample_time in enumerate(times):
             for net, value in voltages.items():
@@ -286,37 +864,105 @@ def build_inverter_chain(inverter: Inverter, stages: int, fanout: int,
     return netlist
 
 
-def simulate_inverter_chain(inverter: Inverter, vdd: float = 1.0, stages: int = 5,
-                            fanout: int = 4) -> InverterChainResult:
-    """Simulate the paper's five-stage FO4 chain and measure the mid stage.
-
-    The measured stage is stage 3 (index 2), exactly as in Case study 1.
-    Energy per cycle is the supply energy of one full input pulse divided by
-    the number of switching stages, attributed to the measured stage's load.
-    """
-    netlist = build_inverter_chain(inverter, stages, fanout, vdd)
-    # Time scale: size the run from the analytical FO4 estimate.
+def _chain_case(inverter: Inverter, vdd: float, stages: int,
+                fanout: int) -> Tuple[SimulationCase, float]:
+    """One FO-``fanout`` chain corner and its analytical delay estimate."""
     from .fo4 import fo4_metrics  # local import to avoid a module cycle
 
+    netlist = build_inverter_chain(inverter, stages, fanout, vdd)
     estimate = fo4_metrics(inverter, vdd, fanout).delay_s
     edge = max(estimate * 0.1, 1.0e-13)
     settle = estimate * (stages + 6)
     source = pulse_source(vdd, delay=2 * estimate, rise_time=edge, width=settle)
     # Odd stages invert: precondition internal nodes to their DC values for
     # a low input.
-    initial = {}
-    for stage in range(stages):
-        initial[f"n{stage + 1}"] = vdd if stage % 2 == 0 else 0.0
-    simulator = TransientSimulator(netlist, {"in": source}, initial_conditions=initial)
-    stop = 2 * estimate + 2 * settle
-    result = simulator.run(stop_time=stop, time_step=max(estimate / 50.0, 1.0e-14))
+    initial = {
+        f"n{stage + 1}": vdd if stage % 2 == 0 else 0.0
+        for stage in range(stages)
+    }
+    case = SimulationCase(netlist, {"in": source}, initial_conditions=initial)
+    return case, estimate
 
-    measured_input = "n2"
-    measured_output = "n3"
-    delay = result.propagation_delay(measured_input, measured_output)
+
+def _measure_chain(result: TransientResult, stages: int) -> InverterChainResult:
+    """Mid-stage delay and per-stage energy of one simulated chain."""
+    delay = result.propagation_delay("n2", "n3")
     energy = result.supply_energy / stages
     return InverterChainResult(
         mid_stage_delay_s=delay,
         energy_per_cycle_j=energy,
         result=result,
     )
+
+
+def simulate_inverter_chain(inverter: Inverter, vdd: float = 1.0, stages: int = 5,
+                            fanout: int = 4,
+                            engine: str = "batch") -> InverterChainResult:
+    """Simulate the paper's five-stage FO4 chain and measure the mid stage.
+
+    The measured stage is stage 3 (index 2), exactly as in Case study 1.
+    Energy per cycle is the supply energy of one full input pulse divided by
+    the number of switching stages, attributed to the measured stage's load.
+    """
+    case, estimate = _chain_case(inverter, vdd, stages, fanout)
+    simulator = TransientSimulator(case.netlist, case.sources,
+                                   initial_conditions=case.initial_conditions)
+    settle = estimate * (stages + 6)
+    stop = 2 * estimate + 2 * settle
+    result = simulator.run(stop_time=stop,
+                           time_step=max(estimate / 50.0, 1.0e-14),
+                           engine=engine)
+    return _measure_chain(result, stages)
+
+
+def _per_corner_supplies(vdd, corners: int) -> List[float]:
+    """Normalise a scalar-or-per-corner supply argument to one float per
+    corner (accepts any iterable, e.g. a NumPy array or range)."""
+    if isinstance(vdd, (int, float)):
+        return [float(vdd)] * corners
+    try:
+        supplies = [float(value) for value in vdd]
+    except TypeError:
+        raise SimulationError(
+            f"vdd must be a number or an iterable of numbers, got {vdd!r}"
+        ) from None
+    if len(supplies) != corners:
+        raise SimulationError(
+            f"Got {corners} corners but {len(supplies)} supplies"
+        )
+    return supplies
+
+
+def simulate_inverter_chain_batch(
+    inverters: Sequence[Inverter],
+    vdd: float = 1.0,
+    stages: int = 5,
+    fanout: int = 4,
+) -> List[InverterChainResult]:
+    """Simulate many inverter corners' FO-``fanout`` chains in one batch.
+
+    Every corner gets its own chain netlist and a stimulus timed from its
+    own analytical delay estimate; the shared time base covers the slowest
+    corner at the resolution of the fastest, so one vectorized integration
+    measures all corners (e.g. the CNT-count sweep of Figure 7, with the
+    CMOS reference riding in the same batch).
+
+    ``vdd`` may be a scalar (shared) or a sequence per corner.
+    """
+    if not inverters:
+        raise SimulationError("simulate_inverter_chain_batch needs >= 1 corner")
+    if stages < 3:
+        raise SimulationError("The FO4 chain needs at least 3 stages")
+    supplies = _per_corner_supplies(vdd, len(inverters))
+    cases: List[SimulationCase] = []
+    estimates: List[float] = []
+    for inverter, supply in zip(inverters, supplies):
+        case, estimate = _chain_case(inverter, supply, stages, fanout)
+        cases.append(case)
+        estimates.append(estimate)
+    slowest = max(estimates)
+    settle = slowest * (stages + 6)
+    stop = 2 * slowest + 2 * settle
+    time_step = max(min(estimates) / 50.0, 1.0e-14)
+    results = run_transient_batch(cases, stop_time=stop, time_step=time_step)
+    return [_measure_chain(result, stages) for result in results]

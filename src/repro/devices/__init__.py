@@ -20,6 +20,7 @@ from .cnt import (
     quantum_capacitance_per_length,
 )
 from .mosfet import MOSFET, MOSFETParameters, NMOS_65, PMOS_65
+from .powerlaw import alpha_power
 
 __all__ = [
     "CMOS_NMOS_WIDTH_NM",
@@ -42,4 +43,5 @@ __all__ = [
     "MOSFETParameters",
     "NMOS_65",
     "PMOS_65",
+    "alpha_power",
 ]

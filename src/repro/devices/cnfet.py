@@ -28,6 +28,7 @@ from typing import Optional
 
 from ..errors import DeviceModelError
 from .cnt import Chirality, DEFAULT_CHIRALITY
+from .powerlaw import alpha_power
 
 
 @dataclass(frozen=True)
@@ -189,6 +190,11 @@ class CNFET:
         characteristic is an alpha-power law with a linear/saturation
         cross-over at ``Vdsat = overdrive``; adequate for delay/energy
         estimation which is what the paper's comparisons need.
+
+        The exponentiation goes through the shared
+        :func:`~repro.devices.powerlaw.alpha_power` kernel so the scalar
+        transient engine stays bit-identical to the vectorized batch
+        engine (see :mod:`repro.circuit.simulator`).
         """
         params = self.parameters
         if self.polarity == "p":
@@ -201,7 +207,7 @@ class CNFET:
             self.num_tubes
             * params.on_current_per_tube
             * (self.screening ** params.current_screening_power)
-            * (overdrive / nominal_overdrive) ** params.alpha
+            * alpha_power(overdrive / nominal_overdrive, params.alpha)
         )
         vdsat = overdrive
         if vds >= vdsat:

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..errors import DeviceModelError
+from .powerlaw import alpha_power
 
 
 @dataclass(frozen=True)
@@ -110,7 +111,7 @@ class MOSFET:
         saturation_current = (
             params.saturation_current_per_um
             * self.width_um
-            * (overdrive / nominal_overdrive) ** params.alpha
+            * alpha_power(overdrive / nominal_overdrive, params.alpha)
         )
         vdsat = overdrive
         if vds >= vdsat:

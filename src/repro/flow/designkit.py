@@ -114,6 +114,7 @@ class CNFETDesignKit:
         drive_strengths: Sequence[float] = DEFAULT_DRIVE_STRENGTHS,
         unit_width: float = 4.0,
         scheme: int = 1,
+        timing_source: str = "logical_effort",
     ):
         self.node = node or cnfet65_node()
         self.rules = self.node.rules
@@ -127,6 +128,7 @@ class CNFETDesignKit:
             scheme=scheme,
             unit_width=unit_width,
             rules=self.rules,
+            timing_source=timing_source,
         )
         self.cmos_timing = build_cmos_timing_library(
             gate_names=gate_set, drive_strengths=drive_strengths, unit_width=unit_width

@@ -1,0 +1,267 @@
+"""Regressions for the batch transient engine and the characterisation
+sweep: the batch/loop bit-identity contract, measurement parity under
+back-drive, the vectorized PWL evaluator, and the sweep grid."""
+
+import numpy as np
+import pytest
+
+from repro.cells import (
+    characterize_sweep,
+    cnfet_technology,
+    gate_transistor_netlist,
+    measured_timing_models,
+    sensitizing_assignment,
+)
+from repro.circuit import (
+    CompiledTransientBatch,
+    PiecewiseLinearSource,
+    SimulationCase,
+    TransientSimulator,
+    build_inverter_chain,
+    cmos_inverter,
+    cnfet_inverter,
+    constant_source,
+    pulse_source,
+    run_transient_batch,
+    simulate_inverter_chain_batch,
+    step_source,
+)
+from repro.devices import FO4_GATE_WIDTH_NM, calibrated_cnfet_parameters
+from repro.errors import SimulationError
+from repro.logic import standard_gate
+
+STOP = 20e-12
+STEP = 0.5e-12
+
+
+def _cnfet_chain_case(tubes=6, vdd=1.0, stages=3):
+    inverter = cnfet_inverter(tubes, FO4_GATE_WIDTH_NM,
+                              parameters=calibrated_cnfet_parameters())
+    netlist = build_inverter_chain(inverter, stages=stages, fanout=4, vdd=vdd)
+    initial = {f"n{i + 1}": vdd if i % 2 == 0 else 0.0 for i in range(stages)}
+    source = pulse_source(vdd, delay=3e-12, rise_time=1e-12, width=8e-12)
+    return SimulationCase(netlist, {"in": source}, initial)
+
+
+def _loop(case, stop=STOP, step=STEP):
+    return TransientSimulator(case.netlist, case.sources,
+                              case.initial_conditions).run(stop, step,
+                                                           engine="loop")
+
+
+def _assert_identical(loop, batch):
+    assert set(loop.waveforms) == set(batch.waveforms)
+    for net in loop.waveforms:
+        assert np.array_equal(loop.waveforms[net], batch.waveforms[net]), net
+    assert loop.supply_charge == batch.supply_charge
+    assert loop.vdd == batch.vdd
+
+
+class TestBitIdentity:
+    def test_inverter_chain_batch_matches_loop(self):
+        """CNFET chain corners: every waveform sample of every corner is
+        byte-identical across the engines."""
+        cases = [_cnfet_chain_case(tubes) for tubes in (1, 4, 6, 12)]
+        batch = run_transient_batch(cases, STOP, STEP)
+        for case, result in zip(cases, batch):
+            _assert_identical(_loop(case), result)
+
+    def test_mixed_technology_batch(self):
+        """A CMOS corner rides in the same batch as CNFET corners."""
+        cnfet = _cnfet_chain_case(6)
+        cmos_net = build_inverter_chain(cmos_inverter(), stages=3, fanout=4,
+                                        vdd=1.0)
+        cmos = SimulationCase(cmos_net, cnfet.sources,
+                              cnfet.initial_conditions)
+        batch = run_transient_batch([cnfet, cmos], STOP, STEP)
+        _assert_identical(_loop(cnfet), batch[0])
+        _assert_identical(_loop(cmos), batch[1])
+
+    def test_nand3_gate_netlist_matches_loop(self):
+        """The NAND3 cell netlist (stacked PDN with internal nodes,
+        parallel PUN): batch == loop bit for bit."""
+        gate = standard_gate("NAND3")
+        tech = cnfet_technology()
+        netlist = gate_transistor_netlist(gate, tech, drive_strength=2.0,
+                                          load_capacitance=2e-15)
+        sides = sensitizing_assignment(gate, gate.inputs[0])
+        sources = {gate.inputs[0]: pulse_source(1.0, 3e-12, 2e-12, 8e-12)}
+        for pin, value in sides.items():
+            sources[pin] = constant_source(1.0 if value else 0.0)
+        case = SimulationCase(netlist, sources, {"out": 1.0})
+        batch = run_transient_batch([case], STOP, STEP)[0]
+        _assert_identical(_loop(case), batch)
+
+    def test_run_default_engine_is_batch_and_identical(self):
+        case = _cnfet_chain_case()
+        simulator = TransientSimulator(case.netlist, case.sources,
+                                       case.initial_conditions)
+        _assert_identical(simulator.run(STOP, STEP, engine="loop"),
+                          simulator.run(STOP, STEP))
+
+    def test_source_on_unreferenced_net_matches_loop(self):
+        """A source driving a net no device references: the loop engine
+        records its waveform without electrical effect, and the batch
+        engine must do exactly the same (regression: this used to raise
+        KeyError during compilation)."""
+        case = _cnfet_chain_case()
+        sources = dict(case.sources)
+        sources["monitor"] = step_source(1.0, delay=5e-12, rise_time=2e-12)
+        augmented = SimulationCase(case.netlist, sources,
+                                   case.initial_conditions)
+        batch = run_transient_batch([augmented], STOP, STEP)[0]
+        loop = _loop(augmented)
+        _assert_identical(loop, batch)
+        assert "monitor" in batch.waveforms
+        assert batch.voltage("monitor")[-1] == 1.0
+
+    def test_unknown_engine_rejected(self):
+        case = _cnfet_chain_case()
+        simulator = TransientSimulator(case.netlist, case.sources,
+                                       case.initial_conditions)
+        with pytest.raises(SimulationError):
+            simulator.run(STOP, STEP, engine="spice")
+
+
+class TestMeasurementParity:
+    def test_crossing_and_energy_parity_under_backdrive(self):
+        """A rail-to-rail pulse through one FO4 inverter back-drives the
+        supply during the falling edge; crossing times and supply energy
+        must agree exactly across the engines."""
+        netlist = build_inverter_chain(cmos_inverter(), stages=1, fanout=4,
+                                       vdd=1.0)
+        source = pulse_source(1.0, delay=20e-12, rise_time=2e-12,
+                              width=200e-12)
+        case = SimulationCase(netlist, {"in": source}, {"n1": 1.0})
+        loop = _loop(case, stop=450e-12, step=1e-12)
+        batch = run_transient_batch([case], 450e-12, 1e-12)[0]
+        _assert_identical(loop, batch)
+        for rising in (True, False):
+            assert loop.crossing_time("n1", 0.5, rising=rising) == \
+                batch.crossing_time("n1", 0.5, rising=rising)
+        assert loop.propagation_delay("in", "n1") == \
+            batch.propagation_delay("in", "n1")
+        assert loop.supply_energy == batch.supply_energy
+        # The back-drive guard of PR 1 still holds on both engines.
+        load = netlist.node_capacitance("n1")
+        assert 0.5 * load < batch.supply_charge < 4.0 * load
+
+
+class TestVectorizedPWL:
+    def test_matches_scalar_value_everywhere(self):
+        """The padded vectorized PWL evaluator against the scalar oracle,
+        including breakpoints, duplicate time points, the pre-first-point
+        region and the hold-last-value tail."""
+        sources = [
+            PiecewiseLinearSource([(0.0, 0.2)]),
+            step_source(1.0, delay=1e-12, rise_time=2e-12),
+            pulse_source(0.9, delay=2e-12, rise_time=1e-12, width=3e-12),
+            PiecewiseLinearSource([(0.0, 0.0), (1e-12, 1.0), (1e-12, 0.5),
+                                   (4e-12, 0.5)]),
+        ]
+        inverter = cmos_inverter()
+        netlist = build_inverter_chain(inverter, stages=1, fanout=1, vdd=1.0)
+        # One case per source, all driving "in".
+        cases = [SimulationCase(netlist, {"in": source}, {"n1": 1.0})
+                 for source in sources]
+        compiled = CompiledTransientBatch(cases)
+        probe = np.array(
+            [0.0, 0.5e-12, 1e-12, 1.5e-12, 2e-12, 3e-12, 4e-12, 5e-12,
+             6e-12, 7e-12, 1e-9]
+        )
+        values = compiled._source_values(probe)       # (K, B, 1)
+        for case_i, source in enumerate(sources):
+            for time_i, time in enumerate(probe):
+                assert values[time_i, case_i, 0] == source.value(float(time)), (
+                    case_i, time)
+
+
+class TestBatchValidation:
+    def test_topology_mismatch_rejected(self):
+        a = _cnfet_chain_case(stages=3)
+        b = _cnfet_chain_case(stages=2)
+        with pytest.raises(SimulationError):
+            run_transient_batch([a, b], STOP, STEP)
+
+    def test_missing_source_rejected(self):
+        case = _cnfet_chain_case()
+        with pytest.raises(SimulationError):
+            run_transient_batch(
+                [SimulationCase(case.netlist, {}, None)], STOP, STEP
+            )
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(SimulationError):
+            run_transient_batch([], STOP, STEP)
+
+    def test_mismatched_supply_list_rejected(self):
+        inverter = cmos_inverter()
+        with pytest.raises(SimulationError):
+            simulate_inverter_chain_batch([inverter], vdd=[1.0, 0.9])
+
+    def test_invalid_time_base_rejected(self):
+        case = _cnfet_chain_case()
+        with pytest.raises(SimulationError):
+            run_transient_batch([case], -1.0, STEP)
+
+
+class TestCharacterizationSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return characterize_sweep(
+            gate_names=("INV", "NAND2"),
+            drive_strengths=(1.0, 2.0),
+            load_capacitances_f=(1e-15, 4e-15),
+            input_slews_s=(5e-12,),
+            corners={"tt": cnfet_technology(),
+                     "lv": cnfet_technology(vdd=0.9)},
+        )
+
+    def test_grid_shape(self, sweep):
+        assert sweep.shape == (2, 2, 2, 1, 2)
+        assert len(sweep.points) == 16
+        assert sweep.grid().shape == sweep.shape
+        assert sweep.grid("energy_per_cycle_j").shape == sweep.shape
+
+    def test_delay_monotone_in_load(self, sweep):
+        grid = sweep.grid("worst_delay_s")
+        assert np.all(np.diff(grid, axis=2) > 0.0)
+
+    def test_stronger_drive_is_faster(self, sweep):
+        grid = sweep.grid("worst_delay_s")
+        assert np.all(np.diff(grid, axis=1) < 0.0)
+
+    def test_low_voltage_corner_is_slower(self, sweep):
+        grid = sweep.grid("worst_delay_s")
+        assert np.all(grid[..., 1] > grid[..., 0])
+
+    def test_point_lookup(self, sweep):
+        point = sweep.point("NAND2", 2.0, 4e-15, 5e-12, "lv")
+        assert point.cell == "NAND2"
+        assert point.vdd == 0.9
+        with pytest.raises(Exception):
+            sweep.point("NAND2", 3.0, 4e-15, 5e-12, "lv")
+
+    def test_all_positive(self, sweep):
+        for point in sweep.points:
+            assert point.delay_rise_s > 0
+            assert point.delay_fall_s > 0
+            assert point.energy_per_cycle_j > 0
+
+    def test_measured_models_reproduce_sweep_delays(self):
+        gate = standard_gate("INV")
+        tech = cnfet_technology()
+        loads = (1e-15, 2e-15, 4e-15)
+        models = measured_timing_models(gate, tech, drive_strengths=(1.0,),
+                                        loads=loads)
+        model = models[1.0]
+        check = characterize_sweep(
+            gate_names=("INV",), drive_strengths=(1.0,),
+            load_capacitances_f=loads,
+            corners={"nominal": tech},
+        )
+        for load in loads:
+            measured = check.point("INV", 1.0, load, 5e-12,
+                                   "nominal").worst_delay_s
+            assert model.stage_delay(load) == pytest.approx(measured,
+                                                            rel=0.25)

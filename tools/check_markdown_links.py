@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Check that every relative link in the repo's markdown docs resolves.
+
+Scans the given markdown files (default: README.md and docs/) for inline
+``[text](target)`` links, ignores external URLs and pure anchors, and
+verifies each relative target exists on disk relative to the file that
+references it.  Exits non-zero listing every broken link — the docs job
+in CI runs this so README/docs can never drift away from the tree.
+
+Usage: python tools/check_markdown_links.py [file-or-dir ...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")  # inline links and images
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def markdown_files(arguments: list[str]) -> list[Path]:
+    roots = [Path(argument) for argument in arguments] or [
+        Path("README.md"), Path("docs"),
+    ]
+    files: list[Path] = []
+    for root in roots:
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.md")))
+        elif root.suffix == ".md" and root.exists():
+            files.append(root)
+        else:
+            print(f"warning: skipping {root} (not a markdown file/dir)")
+    return files
+
+
+def broken_links(path: Path) -> list[str]:
+    failures: list[str] = []
+    for line_number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        for target in LINK.findall(line):
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (path.parent / relative).exists():
+                failures.append(f"{path}:{line_number}: broken link -> {target}")
+    return failures
+
+
+def main(arguments: list[str]) -> int:
+    files = markdown_files(arguments)
+    if not files:
+        print("error: no markdown files found")
+        return 2
+    failures: list[str] = []
+    checked = 0
+    for path in files:
+        failures.extend(broken_links(path))
+        checked += 1
+    for failure in failures:
+        print(failure)
+    print(f"{checked} file(s) checked, {len(failures)} broken link(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
