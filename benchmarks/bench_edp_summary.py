@@ -13,15 +13,15 @@ def test_edp_edap_headline(benchmark):
     summary = benchmark(run_edp_summary)
     record(
         benchmark,
-        delay_gain=round(summary["delay_gain_optimal"], 3),
-        energy_gain=round(summary["energy_gain_optimal"], 3),
-        area_gain=round(summary["area_gain"], 3),
-        edp_gain_optimal=round(summary["edp_gain_optimal"], 3),
-        edp_gain_best=round(summary["edp_gain_best"], 3),
-        edap_gain_measured=round(summary["edap_gain_optimal"], 3),
-        edap_gain_paper=summary["paper_edap_gain"],
-        edp_gain_paper=summary["paper_edp_gain"],
+        delay_gain=round(summary.delay_gain_optimal, 3),
+        energy_gain=round(summary.energy_gain_optimal, 3),
+        area_gain=round(summary.area_gain, 3),
+        edp_gain_optimal=round(summary.edp_gain_optimal, 3),
+        edp_gain_best=round(summary.edp_gain_best, 3),
+        edap_gain_measured=round(summary.edap_gain_optimal, 3),
+        edap_gain_paper=summary.paper_edap_gain,
+        edp_gain_paper=summary.paper_edp_gain,
     )
-    assert summary["delay_gain_optimal"] > 4.0
-    assert summary["edp_gain_best"] > 10.0
-    assert abs(summary["edap_gain_optimal"] - summary["paper_edap_gain"]) < 2.0
+    assert summary.delay_gain_optimal > 4.0
+    assert summary.edp_gain_best > 10.0
+    assert abs(summary.edap_gain_optimal - summary.paper_edap_gain) < 2.0

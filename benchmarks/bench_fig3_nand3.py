@@ -12,12 +12,12 @@ def test_fig3_nand3_compaction(benchmark):
     result = benchmark(run_fig3_nand3)
     record(
         benchmark,
-        measured_saving=round(result["measured_saving"], 4),
-        paper_saving=result["paper_saving"],
-        baseline_area_lambda2=result["baseline_area"],
-        compact_area_lambda2=result["compact_area"],
+        measured_saving=round(result.measured_saving, 4),
+        paper_saving=result.paper_saving,
+        baseline_area_lambda2=result.baseline_area,
+        compact_area_lambda2=result.compact_area,
     )
-    assert abs(result["measured_saving"] - result["paper_saving"]) < 0.01
+    assert abs(result.measured_saving - result.paper_saving) < 0.01
 
 
 def test_fig3_nand3_transient_parity(benchmark):

@@ -8,7 +8,6 @@ tube, 4.2× / 2× at the ~5 nm optimal pitch, 1.4× inverter area gain).
 from conftest import record
 
 from repro.analysis import (
-    format_fig7,
     run_fig7_fo4,
     run_fo4_transient_sweep,
     run_pitch_sensitivity,
@@ -19,24 +18,24 @@ from repro.devices import paper_anchors
 def test_fig7_fo4_sweep(benchmark):
     result = benchmark(run_fig7_fo4, 20)
     print()
-    print(format_fig7(result))
+    print(result)
     anchors = paper_anchors()
     record(
         benchmark,
-        delay_gain_single_measured=round(result["single_cnt"]["delay_gain"], 3),
+        delay_gain_single_measured=round(result.single_cnt.delay_gain, 3),
         delay_gain_single_paper=anchors.fo4_delay_gain_single_cnt,
-        energy_gain_single_measured=round(result["single_cnt"]["energy_gain"], 3),
+        energy_gain_single_measured=round(result.single_cnt.energy_gain, 3),
         energy_gain_single_paper=anchors.fo4_energy_gain_single_cnt,
-        delay_gain_optimal_measured=round(result["optimal"]["delay_gain"], 3),
+        delay_gain_optimal_measured=round(result.optimal.delay_gain, 3),
         delay_gain_optimal_paper=anchors.fo4_delay_gain_optimal,
-        energy_gain_optimal_measured=round(result["optimal"]["energy_gain"], 3),
+        energy_gain_optimal_measured=round(result.optimal.energy_gain, 3),
         energy_gain_optimal_paper=anchors.fo4_energy_gain_optimal,
-        optimal_pitch_measured_nm=round(result["optimal"]["pitch_nm"], 2),
+        optimal_pitch_measured_nm=round(result.optimal.pitch_nm, 2),
         optimal_pitch_paper_nm=anchors.optimal_pitch_nm,
-        inverter_area_gain_measured=round(result["inverter_area_gain"], 3),
+        inverter_area_gain_measured=round(result.inverter_area_gain, 3),
         inverter_area_gain_paper=anchors.inverter_area_gain,
     )
-    assert abs(result["optimal"]["delay_gain"] - anchors.fo4_delay_gain_optimal) < 0.5
+    assert abs(result.optimal.delay_gain - anchors.fo4_delay_gain_optimal) < 0.5
 
 
 def test_fig7_pitch_sensitivity(benchmark):
@@ -44,10 +43,10 @@ def test_fig7_pitch_sensitivity(benchmark):
     result = benchmark(run_pitch_sensitivity)
     record(
         benchmark,
-        delay_variation_measured=round(result["delay_variation"], 4),
-        delay_variation_paper=result["paper_variation"],
+        delay_variation_measured=round(result.delay_variation, 4),
+        delay_variation_paper=result.paper_variation,
     )
-    assert result["delay_variation"] < 0.05
+    assert result.delay_variation < 0.05
 
 
 def test_fo4_transient_cross_check(benchmark):
@@ -60,18 +59,18 @@ def test_fo4_transient_cross_check(benchmark):
         iterations=1,
         rounds=1,
     )
-    best = result["optimal"]
-    single = result["sweep"][0]
+    best = result.optimal
+    single = result.sweep[0]
     record(
         benchmark,
-        corners_in_batch=result["batch_size"],
-        transient_delay_gain_single=round(single["delay_gain"], 3),
-        transient_delay_gain_best=round(best["delay_gain"], 3),
-        transient_energy_gain_best=round(best["energy_gain"], 3),
-        best_pitch_nm=round(best["pitch_nm"], 2),
+        corners_in_batch=result.batch_size,
+        transient_delay_gain_single=round(single.delay_gain, 3),
+        transient_delay_gain_best=round(best.delay_gain, 3),
+        transient_energy_gain_best=round(best.energy_gain, 3),
+        best_pitch_nm=round(best.pitch_nm, 2),
         paper_delay_gain=paper_anchors().fo4_delay_gain_optimal,
     )
     # The waveform sweep reproduces the analytical trend: a single tube is
     # already faster than CMOS, and the densest measured corners gain >3x.
-    assert single["delay_gain"] > 1.5
-    assert best["delay_gain"] > 3.0
+    assert single.delay_gain > 1.5
+    assert best.delay_gain > 3.0

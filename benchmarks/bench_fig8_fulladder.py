@@ -7,7 +7,7 @@ delay, energy and area against the equivalent 65 nm CMOS implementation
 
 from conftest import record
 
-from repro.analysis import format_fulladder, run_fulladder_case_study
+from repro.analysis import run_fulladder_case_study
 from repro.circuit import analyse_netlist
 from repro.flow import CNFETDesignKit, full_adder_netlist
 
@@ -15,21 +15,21 @@ from repro.flow import CNFETDesignKit, full_adder_netlist
 def test_fulladder_case_study(benchmark):
     result = benchmark.pedantic(run_fulladder_case_study, iterations=1, rounds=1)
     print()
-    print(format_fulladder(result))
-    paper = result["paper"]
+    print(result)
+    paper = result.paper
     record(
         benchmark,
-        delay_gain_measured=round(result["delay_gain"], 3),
+        delay_gain_measured=round(result.delay_gain, 3),
         delay_gain_paper=paper["delay_gain"],
-        energy_gain_measured=round(result["energy_gain"], 3),
+        energy_gain_measured=round(result.energy_gain, 3),
         energy_gain_paper=paper["energy_gain"],
-        area_gain_scheme1_measured=round(result["area_gain_scheme1"], 3),
+        area_gain_scheme1_measured=round(result.area_gain_scheme1, 3),
         area_gain_scheme1_paper=paper["area_gain_scheme1"],
-        area_gain_scheme2_measured=round(result["area_gain_scheme2"], 3),
+        area_gain_scheme2_measured=round(result.area_gain_scheme2, 3),
         area_gain_scheme2_paper=paper["area_gain_scheme2"],
     )
-    assert result["delay_gain"] > 2.5
-    assert result["area_gain_scheme2"] > result["area_gain_scheme1"] > 1.0
+    assert result.delay_gain > 2.5
+    assert result.area_gain_scheme2 > result.area_gain_scheme1 > 1.0
 
 
 def test_fulladder_measured_timing_flow(benchmark):

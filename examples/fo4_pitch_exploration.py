@@ -11,7 +11,7 @@ Run with ``python examples/fo4_pitch_exploration.py``.
 
 from __future__ import annotations
 
-from repro.analysis import format_fig7, run_fig7_fo4, run_pitch_sensitivity
+from repro.analysis import run_fig7_fo4, run_pitch_sensitivity
 from repro.circuit import (
     cmos_inverter,
     cnfet_inverter,
@@ -21,22 +21,22 @@ from repro.circuit import (
 from repro.devices import FO4_GATE_WIDTH_NM, calibrated_cnfet_parameters, paper_anchors
 
 
-def sweep() -> dict:
-    result = run_fig7_fo4(max_tubes=20)
+def sweep():
+    result = run_fig7_fo4(max_tubes=20)   # typed Fig7Result
     print("FO4 gains of the CNFET inverter over 65 nm CMOS (Figure 7 sweep)")
-    print(format_fig7(result))
+    print(result)                         # str(result) renders the table
     print()
     sensitivity = run_pitch_sensitivity()
     print(f"Delay variation across the 4.5-5.5 nm pitch window: "
-          f"{sensitivity['delay_variation'] * 100:.1f}% "
-          f"(paper: ~{sensitivity['paper_variation'] * 100:.0f}%)")
-    print(f"Inverter area gain vs CMOS: {result['inverter_area_gain']:.2f}x "
+          f"{sensitivity.delay_variation * 100:.1f}% "
+          f"(paper: ~{sensitivity.paper_variation * 100:.0f}%)")
+    print(f"Inverter area gain vs CMOS: {result.inverter_area_gain:.2f}x "
           f"(paper: {paper_anchors().inverter_area_gain}x)")
     return result
 
 
-def transient_cross_check(result: dict) -> None:
-    best_tubes = int(result["optimal"]["num_tubes"])
+def transient_cross_check(result) -> None:
+    best_tubes = int(result.optimal.num_tubes)
     params = calibrated_cnfet_parameters()
     cnfet = cnfet_inverter(best_tubes, FO4_GATE_WIDTH_NM, parameters=params)
     cmos = cmos_inverter()

@@ -15,15 +15,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import assemble_cell, standard_gate
+from repro import SweepSpec, assemble_cell, run_sweep_study, standard_gate
 from repro.immunity import (
     ImmunityChecker,
     compare_techniques,
     format_comparison,
-    format_sweep,
     nominal_cnts,
     random_mispositioned_cnts,
-    sweep,
 )
 
 
@@ -72,26 +70,31 @@ def monte_carlo_comparison() -> None:
 
 def defect_parameter_sweep() -> None:
     """Where does immunity break?  Sweep density, alignment and metallic
-    residue in one batched run."""
+    residue in one batched run, through the unified Study sweep API (the
+    same SweepSpec also drives the transient engine, and the result
+    serializes: ``result.to_json("immunity_sweep.json")``)."""
     print("Sweeping defect density / alignment / metallic residue (NAND2):")
-    points = sweep(
-        gates=("NAND2",),
-        techniques=("vulnerable", "compact"),
-        cnts_per_trial=(2, 4, 8),
-        max_angle_deg=(5.0, 30.0),
-        metallic_fraction=(0.0, 0.25),
-        trials=1000,
-        seed=2009,
-    )
-    print(format_sweep(points))
-    clean = [p for p in points if p.metallic_fraction == 0.0]
-    dirty = [p for p in points if p.metallic_fraction > 0.0]
+    spec = SweepSpec.from_mapping({
+        "technique": ("vulnerable", "compact"),
+        "cnts_per_trial": (2, 4, 8),
+        "max_angle_deg": (5.0, 30.0),
+        "metallic_fraction": (0.0, 0.25),
+    })
+    result = run_sweep_study(spec, engine="immunity", trials=1000, seed=2009)
+    print(result)
+
+    def select(predicate):
+        return [r for r in result.records if predicate(r.corner.as_dict())]
+
+    clean = select(lambda c: c["metallic_fraction"] == 0.0
+                   and c["technique"] == "compact")
+    dirty = select(lambda c: c["metallic_fraction"] > 0.0
+                   and c["technique"] == "compact")
     print()
-    print(f"  compact immune on all {sum(1 for p in clean if p.technique == 'compact')} "
-          f"metallic-free points: "
-          f"{all(p.result.immune for p in clean if p.technique == 'compact')}")
+    print(f"  compact immune on all {len(clean)} metallic-free points: "
+          f"{all(r.metrics['immune'] for r in clean)}")
     print(f"  with 25% metallic tubes even compact layouts fail "
-          f"(worst {max(p.failure_rate for p in dirty if p.technique == 'compact') * 100:.0f}%) "
+          f"(worst {max(r.metrics['failure_rate'] for r in dirty) * 100:.0f}%) "
           f"- the paper's metallic-removal assumption is load-bearing.")
     print()
 

@@ -9,7 +9,9 @@ Walks the library's core loop in a few lines:
 4. verify the layout is functionally immune to mispositioned CNTs,
 5. measure the cell electrically across a multi-corner grid on the batch
    transient engine,
-6. write the cell to GDSII (and assert the artifact really landed).
+6. write the cell to GDSII (and assert the artifact really landed),
+7. reproduce a paper figure through the typed Study API and round-trip it
+   through JSON (the same payload ``python -m repro run fig3 --json`` emits).
 
 Run with ``PYTHONPATH=src python examples/quickstart.py``.
 """
@@ -18,7 +20,8 @@ from __future__ import annotations
 
 import os
 
-from repro import assemble_cell, standard_gate
+from repro import assemble_cell, run_study, standard_gate
+from repro.study import StudyResult
 from repro.cells import characterize_sweep, cnfet_technology
 from repro.core import area_saving
 from repro.geometry import GDSWriter, GDSWriterOptions, Layout
@@ -80,6 +83,16 @@ def main() -> None:
     assert os.path.exists(path) and os.path.getsize(path) > 0, \
         f"GDSII artifact {path} was not written"
     print(f"GDSII written : {path} ({os.path.getsize(path)} bytes)")
+    print()
+
+    # 7. The same comparison as a typed, serializable Study result — what
+    # `python -m repro run fig3 --json -` emits headlessly.
+    study = run_study("fig3")
+    print(f"Study API     : {study}")
+    restored = StudyResult.from_json(study.to_json())
+    assert restored == study, "JSON round-trip must be lossless"
+    print(f"  provenance  : config {study.provenance.config_hash}, "
+          f"package {study.provenance.package_version}")
 
 
 if __name__ == "__main__":

@@ -16,6 +16,10 @@ The package is organised as:
 * :mod:`repro.analysis` — the experiment runners that regenerate every
   table and figure of the paper's evaluation.
 
+* :mod:`repro.study` — the typed Study layer: one sweep abstraction over
+  both engines, frozen serializable results with provenance, the study
+  registry and the ``python -m repro`` CLI.
+
 Quickstart::
 
     from repro import assemble_cell, standard_gate, CNFETDesignKit
@@ -25,6 +29,16 @@ Quickstart::
     kit = CNFETDesignKit(scheme=1)
     result = kit.run_flow(full_adder_netlist())
     print(result.report.summary())
+
+Study API::
+
+    from repro import run_study, SweepSpec, run_sweep_study
+
+    fig7 = run_study("fig7")            # typed Fig7Result
+    print(fig7)                         # renders the paper's table
+    fig7.to_json("fig7.json")           # lossless round-trip
+    spec = SweepSpec.parse(["cnts_per_trial=2,4,8"])
+    sweep = run_sweep_study(spec, engine="immunity", trials=500)
 """
 
 from .analysis import run_all, run_fig7_fo4, run_fulladder_case_study, run_table1
@@ -40,25 +54,47 @@ from .core import (
     vulnerable_network_layout,
 )
 from .devices import CNFET, MOSFET, calibrated_cnfet_parameters, paper_anchors
-from .errors import ReproError
+from .errors import ReproError, StudyError
 from .flow import CNFETDesignKit, full_adder_netlist, parse_structural_verilog
 from .immunity import compare_techniques, run_immunity_trials, sweep
 from .logic import GateNetworks, parse_expression, standard_gate
+from .study import (
+    Corner,
+    Provenance,
+    StudyResult,
+    SweepSpec,
+    get_study,
+    list_studies,
+    parse_axis,
+    run_study,
+    run_sweep_study,
+)
 from .tech import CMOS_RULES, CNFET_RULES, cmos65_node, cnfet65_node
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
+    # experiment runners (typed results)
     "run_all", "run_fig7_fo4", "run_fulladder_case_study", "run_table1",
+    # the Study layer
+    "run_study", "list_studies", "get_study", "run_sweep_study",
+    "StudyResult", "Provenance", "SweepSpec", "Corner", "parse_axis",
+    # cells / circuit
     "StandardCellLibrary", "build_library",
     "cmos_inverter", "cnfet_inverter", "compare_fo4", "fo4_metrics",
+    # core layouts
     "StandardCell", "assemble_cell", "baseline_network_layout",
     "compact_network_layout", "inverter_area_gain", "table1",
     "vulnerable_network_layout",
+    # devices
     "CNFET", "MOSFET", "calibrated_cnfet_parameters", "paper_anchors",
-    "ReproError",
+    # errors
+    "ReproError", "StudyError",
+    # flow
     "CNFETDesignKit", "full_adder_netlist", "parse_structural_verilog",
+    # immunity
     "compare_techniques", "run_immunity_trials", "sweep",
+    # logic / tech
     "GateNetworks", "parse_expression", "standard_gate",
     "CNFET_RULES", "CMOS_RULES", "cnfet65_node", "cmos65_node",
     "__version__",

@@ -1,0 +1,6 @@
+"""``python -m repro`` — the Study CLI entry point."""
+
+from .study.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,5 +1,11 @@
-"""Comparison metrics and per-figure experiment runners."""
+"""Comparison metrics and per-figure experiment runners.
 
+Every ``run_*`` runner returns a typed, Mapping-compatible
+:class:`~repro.study.results.StudyResult`; the old plain-dict behaviour
+lives on in :mod:`repro.analysis.legacy` as deprecation shims.
+"""
+
+from . import legacy
 from .experiments import (
     format_fig7,
     format_fulladder,
@@ -19,6 +25,7 @@ from .experiments import (
 from .metrics import GainReport, TechnologyFigures, edap, edp, gain
 
 __all__ = [
+    "legacy",
     "format_fig7",
     "format_fulladder",
     "run_all",

@@ -1,15 +1,18 @@
 """Experiment runners: one function per table/figure of the paper.
 
 Each ``run_*`` function regenerates one evaluation artefact and returns a
-plain dictionary of measured values (plus the paper's reported values where
-it states them), so benchmarks, examples and EXPERIMENTS.md all draw from
-the same code path.  ``format_*`` helpers render the dictionaries as text
-tables for human consumption.
+**typed** :class:`~repro.study.results.StudyResult` subclass.  The typed
+results speak the Mapping protocol and their ``to_dict()`` reproduces the
+historical plain-dict payload exactly (same keys, bit-identical values for
+fixed seeds), so pre-redesign call sites — ``result["optimal"]`` — keep
+working unchanged; new code should prefer the typed attributes,
+``str(result)`` renderings and JSON round-trips.  Callers that really want
+the old plain dicts can use the deprecation shims in
+:mod:`repro.analysis.legacy`.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict
 from typing import Dict, List, Optional, Sequence
 
 from ..cells.characterize import (
@@ -43,6 +46,25 @@ from ..immunity.montecarlo import (
     sweep,
 )
 from ..logic.functions import aoi31, standard_gate
+from ..study.results import (
+    CharacterizationResult,
+    EdpSummaryResult,
+    Fig2ImmunityResult,
+    Fig3Result,
+    Fig4Result,
+    Fig7Result,
+    FO4GainPoint,
+    FO4TransientPoint,
+    Fo4TransientResult,
+    FullAdderResult,
+    ImmunitySweepResult,
+    PitchSensitivityResult,
+    Provenance,
+    StudyResult,
+    Table1Result,
+    render_fig7,
+    render_fulladder,
+)
 from .metrics import GainReport, TechnologyFigures
 
 
@@ -50,14 +72,15 @@ from .metrics import GainReport, TechnologyFigures
 # E1 / E2 — Table 1 and the Figure 3 NAND3 walk-through
 # ---------------------------------------------------------------------------
 
-def run_table1() -> Dict[str, object]:
+def run_table1() -> Table1Result:
     """Regenerate Table 1 (area saving of the compact vs baseline layouts)."""
     rows = table1()
-    return {
-        "rows": rows,
-        "formatted": format_table1(rows),
-        "mean_absolute_error": _mean_absolute_error(rows),
-    }
+    return Table1Result(
+        provenance=Provenance.capture("table1", params={}),
+        rows=tuple(rows),
+        formatted=format_table1(rows),
+        mean_absolute_error=_mean_absolute_error(rows),
+    )
 
 
 def _mean_absolute_error(rows) -> float:
@@ -65,18 +88,19 @@ def _mean_absolute_error(rows) -> float:
     return sum(errors) / len(errors) if errors else 0.0
 
 
-def run_fig3_nand3(unit_width: float = 4.0) -> Dict[str, float]:
+def run_fig3_nand3(unit_width: float = 4.0) -> Fig3Result:
     """The Figure 3 NAND3 compaction number (paper: 16.67 % at 4 λ)."""
     from ..core.area import area_saving
 
     row = area_saving(standard_gate("NAND3"), unit_width)
-    return {
-        "unit_width": unit_width,
-        "baseline_area": row.baseline_area,
-        "compact_area": row.compact_area,
-        "measured_saving": row.measured_saving,
-        "paper_saving": paper_anchors().nand3_area_saving_4lambda,
-    }
+    return Fig3Result(
+        provenance=Provenance.capture("fig3", params={"unit_width": unit_width}),
+        unit_width=unit_width,
+        baseline_area=row.baseline_area,
+        compact_area=row.compact_area,
+        measured_saving=row.measured_saving,
+        paper_saving=paper_anchors().nand3_area_saving_4lambda,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -85,7 +109,7 @@ def run_fig3_nand3(unit_width: float = 4.0) -> Dict[str, float]:
 
 def run_fig2_immunity(gate_name: str = "NAND2", trials: int = 200,
                       cnts_per_trial: int = 4, seed: SeedLike = 2009,
-                      engine: str = "batch") -> Dict[str, object]:
+                      engine: str = "batch") -> Fig2ImmunityResult:
     """Monte Carlo immunity of the vulnerable / baseline / compact layouts.
 
     Every technique is attacked by the same defect populations (shared
@@ -96,14 +120,19 @@ def run_fig2_immunity(gate_name: str = "NAND2", trials: int = 200,
         gate_name, trials=trials, cnts_per_trial=cnts_per_trial, seed=seed,
         engine=engine,
     )
-    return {
-        "gate": gate_name,
-        "results": results,
-        "formatted": format_comparison(results),
-        "vulnerable_failure_rate": results["vulnerable"].failure_rate,
-        "baseline_immune": results["baseline"].immune,
-        "compact_immune": results["compact"].immune,
-    }
+    return Fig2ImmunityResult(
+        provenance=Provenance.capture(
+            "fig2", engine=engine, seed=seed,
+            params=dict(gate_name=gate_name, trials=trials,
+                        cnts_per_trial=cnts_per_trial, seed=seed, engine=engine),
+        ),
+        gate=gate_name,
+        results=results,
+        formatted=format_comparison(results),
+        vulnerable_failure_rate=results["vulnerable"].failure_rate,
+        baseline_immune=results["baseline"].immune,
+        compact_immune=results["compact"].immune,
+    )
 
 
 def run_immunity_sweep(
@@ -115,7 +144,7 @@ def run_immunity_sweep(
     trials: int = 200,
     seed: SeedLike = 2009,
     workers: Optional[int] = None,
-) -> Dict[str, object]:
+) -> ImmunitySweepResult:
     """Failure rate across defect density / alignment / metallic residue.
 
     The batched extension of the Figure 2 experiment: instead of one
@@ -133,19 +162,27 @@ def run_immunity_sweep(
         worst[point.technique] = max(
             worst.get(point.technique, 0.0), point.failure_rate
         )
-    return {
-        "points": points,
-        "formatted": format_sweep(points),
-        "worst_failure_rate_by_technique": worst,
-        "compact_always_immune": worst.get("compact", 0.0) == 0.0,
-    }
+    return ImmunitySweepResult(
+        provenance=Provenance.capture(
+            "immunity_sweep", engine="batch", seed=seed,
+            params=dict(gates=tuple(gates), techniques=tuple(techniques),
+                        cnts_per_trial=tuple(cnts_per_trial),
+                        max_angle_deg=tuple(max_angle_deg),
+                        metallic_fraction=tuple(metallic_fraction),
+                        trials=trials, seed=seed),
+        ),
+        points=tuple(points),
+        formatted=format_sweep(points),
+        worst_failure_rate_by_technique=worst,
+        compact_always_immune=worst.get("compact", 0.0) == 0.0,
+    )
 
 
 # ---------------------------------------------------------------------------
 # E4 — Figure 4: the AOI31 generalised layout
 # ---------------------------------------------------------------------------
 
-def run_fig4_aoi31(unit_width: float = 4.0) -> Dict[str, object]:
+def run_fig4_aoi31(unit_width: float = 4.0) -> Fig4Result:
     """Generate the AOI31 compact layouts (basic and width-balanced)."""
     gate = aoi31()
     sizing = size_gate(gate, unit_width)
@@ -153,18 +190,19 @@ def run_fig4_aoi31(unit_width: float = 4.0) -> Dict[str, object]:
     pdn = compact_network_layout(gate.pdn, gate.pdn_tree, unit_width)
     cell_s1 = assemble_cell(gate, scheme=1, unit_width=unit_width)
     cell_s2 = assemble_cell(gate, scheme=2, unit_width=unit_width)
-    return {
-        "gate": gate.name,
-        "pun_contacts": pun.contact_count,
-        "pun_gates": pun.gate_count,
-        "pdn_contacts": pdn.contact_count,
-        "pdn_gates": pdn.gate_count,
-        "pun_width_factors": sorted(set(sizing.pun_widths.values())),
-        "pdn_width_factors": sorted(set(sizing.pdn_widths.values())),
-        "scheme1_area": cell_s1.area,
-        "scheme2_area": cell_s2.area,
-        "requires_etched_regions": pun.etch_count + pdn.etch_count,
-    }
+    return Fig4Result(
+        provenance=Provenance.capture("fig4", params={"unit_width": unit_width}),
+        gate=gate.name,
+        pun_contacts=pun.contact_count,
+        pun_gates=pun.gate_count,
+        pdn_contacts=pdn.contact_count,
+        pdn_gates=pdn.gate_count,
+        pun_width_factors=tuple(sorted(set(sizing.pun_widths.values()))),
+        pdn_width_factors=tuple(sorted(set(sizing.pdn_widths.values()))),
+        scheme1_area=cell_s1.area,
+        scheme2_area=cell_s2.area,
+        requires_etched_regions=pun.etch_count + pdn.etch_count,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -172,41 +210,43 @@ def run_fig4_aoi31(unit_width: float = 4.0) -> Dict[str, object]:
 # ---------------------------------------------------------------------------
 
 def run_fig7_fo4(max_tubes: int = 20, gate_width_nm: float = FO4_GATE_WIDTH_NM,
-                 vdd: float = 1.0) -> Dict[str, object]:
+                 vdd: float = 1.0) -> Fig7Result:
     """Sweep the number of CNTs per device at fixed gate width (Figure 7)."""
     params = calibrated_cnfet_parameters()
     reference = cmos_inverter(CMOS_NMOS_WIDTH_NM, CMOS_PMOS_WIDTH_NM)
     anchors = paper_anchors()
 
-    sweep: List[Dict[str, float]] = []
+    points: List[FO4GainPoint] = []
     best_index = 0
     for tubes in range(1, max_tubes + 1):
         comparison = compare_fo4(
             cnfet_inverter(tubes, gate_width_nm, parameters=params), reference, vdd
         )
-        sweep.append(
-            {
-                "num_tubes": tubes,
-                "pitch_nm": gate_width_nm / tubes,
-                "delay_gain": comparison.delay_gain,
-                "energy_gain": comparison.energy_gain,
-                "edp_gain": comparison.edp_gain,
-                "cnfet_delay_ps": comparison.cnfet.delay_s * 1e12,
-                "cmos_delay_ps": comparison.cmos.delay_s * 1e12,
-            }
+        points.append(
+            FO4GainPoint(
+                num_tubes=tubes,
+                pitch_nm=gate_width_nm / tubes,
+                delay_gain=comparison.delay_gain,
+                energy_gain=comparison.energy_gain,
+                edp_gain=comparison.edp_gain,
+                cnfet_delay_ps=comparison.cnfet.delay_s * 1e12,
+                cmos_delay_ps=comparison.cmos.delay_s * 1e12,
+            )
         )
-        if sweep[best_index]["delay_gain"] < comparison.delay_gain:
-            best_index = len(sweep) - 1
+        if points[best_index].delay_gain < comparison.delay_gain:
+            best_index = len(points) - 1
 
-    best = sweep[best_index]
-    single = sweep[0]
     area = inverter_area_gain(unit_width=4.0, scheme=1)
-    return {
-        "sweep": sweep,
-        "single_cnt": single,
-        "optimal": best,
-        "inverter_area_gain": area.gain,
-        "paper": {
+    return Fig7Result(
+        provenance=Provenance.capture(
+            "fig7",
+            params=dict(max_tubes=max_tubes, gate_width_nm=gate_width_nm, vdd=vdd),
+        ),
+        sweep=tuple(points),
+        single_cnt=points[0],
+        optimal=points[best_index],
+        inverter_area_gain=area.gain,
+        paper={
             "delay_gain_single_cnt": anchors.fo4_delay_gain_single_cnt,
             "energy_gain_single_cnt": anchors.fo4_energy_gain_single_cnt,
             "delay_gain_optimal": anchors.fo4_delay_gain_optimal,
@@ -214,36 +254,24 @@ def run_fig7_fo4(max_tubes: int = 20, gate_width_nm: float = FO4_GATE_WIDTH_NM,
             "optimal_pitch_nm": anchors.optimal_pitch_nm,
             "inverter_area_gain": anchors.inverter_area_gain,
         },
-    }
-
-
-def format_fig7(result: Dict[str, object]) -> str:
-    """Render the Figure 7 sweep as a text table."""
-    header = f"{'CNTs':>5} {'pitch(nm)':>10} {'delay gain':>11} {'energy gain':>12} {'EDP gain':>9}"
-    lines = [header, "-" * len(header)]
-    for point in result["sweep"]:
-        lines.append(
-            f"{point['num_tubes']:>5} {point['pitch_nm']:>10.2f} "
-            f"{point['delay_gain']:>11.2f} {point['energy_gain']:>12.2f} "
-            f"{point['edp_gain']:>9.2f}"
-        )
-    best = result["optimal"]
-    paper = result["paper"]
-    lines.append("")
-    lines.append(
-        f"optimal: {best['delay_gain']:.2f}x delay, {best['energy_gain']:.2f}x energy "
-        f"at pitch {best['pitch_nm']:.2f} nm "
-        f"(paper: {paper['delay_gain_optimal']}x, {paper['energy_gain_optimal']}x at "
-        f"{paper['optimal_pitch_nm']} nm)"
     )
-    return "\n".join(lines)
+
+
+def format_fig7(result) -> str:
+    """Render the Figure 7 sweep as a text table.
+
+    .. deprecated:: 0.2
+        ``str(result)`` on the typed :class:`Fig7Result` renders the same
+        table; this wrapper remains for dict payloads and old call sites.
+    """
+    return render_fig7(result)
 
 
 def run_fo4_transient_sweep(
     tube_counts: Sequence[int] = (1, 2, 4, 6, 8, 12),
     gate_width_nm: float = FO4_GATE_WIDTH_NM,
     vdd: float = 1.0,
-) -> Dict[str, object]:
+) -> Fo4TransientResult:
     """Waveform-level Figure 7 cross-check on the batch transient engine.
 
     Every CNT-count corner's five-stage FO4 chain — plus the 65 nm CMOS
@@ -260,25 +288,30 @@ def run_fo4_transient_sweep(
     inverters.append(cmos_inverter(CMOS_NMOS_WIDTH_NM, CMOS_PMOS_WIDTH_NM))
     metrics = fo4_transient_sweep(inverters, vdd=vdd)
     cmos = metrics[-1]
-    sweep: List[Dict[str, float]] = []
+    points: List[FO4TransientPoint] = []
     for tubes, point in zip(tube_counts, metrics):
-        sweep.append(
-            {
-                "num_tubes": tubes,
-                "pitch_nm": gate_width_nm / tubes,
-                "cnfet_delay_ps": point.delay_s * 1e12,
-                "cmos_delay_ps": cmos.delay_s * 1e12,
-                "delay_gain": cmos.delay_s / point.delay_s,
-                "energy_gain": cmos.energy_per_cycle_j / point.energy_per_cycle_j,
-            }
+        points.append(
+            FO4TransientPoint(
+                num_tubes=tubes,
+                pitch_nm=gate_width_nm / tubes,
+                cnfet_delay_ps=point.delay_s * 1e12,
+                cmos_delay_ps=cmos.delay_s * 1e12,
+                delay_gain=cmos.delay_s / point.delay_s,
+                energy_gain=cmos.energy_per_cycle_j / point.energy_per_cycle_j,
+            )
         )
-    best = max(sweep, key=lambda point: point["delay_gain"])
-    return {
-        "sweep": sweep,
-        "cmos_delay_ps": cmos.delay_s * 1e12,
-        "optimal": best,
-        "batch_size": len(inverters),
-    }
+    best = max(points, key=lambda point: point.delay_gain)
+    return Fo4TransientResult(
+        provenance=Provenance.capture(
+            "fo4_transient", engine="batch",
+            params=dict(tube_counts=tuple(tube_counts),
+                        gate_width_nm=gate_width_nm, vdd=vdd),
+        ),
+        sweep=tuple(points),
+        cmos_delay_ps=cmos.delay_s * 1e12,
+        optimal=best,
+        batch_size=len(inverters),
+    )
 
 
 def run_characterization(
@@ -287,7 +320,7 @@ def run_characterization(
     load_capacitances_f: Sequence[float] = (1.0e-15, 4.0e-15),
     input_slews_s: Sequence[float] = (5.0e-12,),
     corners: Optional[Dict[str, TechnologyConfig]] = None,
-) -> Dict[str, object]:
+) -> CharacterizationResult:
     """Multi-corner standard-cell characterisation on the batch engine.
 
     The (cell × drive × load × slew × corner) grid behind the measured
@@ -311,24 +344,33 @@ def run_characterization(
     grid = sweep.grid("worst_delay_s")
     # Sanity flags are None when an axis has a single point (nothing to
     # compare), so a vacuous np.all([]) can never masquerade as a check.
-    return {
-        "sweep": sweep,
-        "formatted": format_characterization(sweep),
-        "grid_shape": grid.shape,
-        "points": len(sweep.points),
-        "monotone_in_load": (
+    return CharacterizationResult(
+        provenance=Provenance.capture(
+            "characterization", engine="batch",
+            params=dict(gates=tuple(gates),
+                        drive_strengths=tuple(drive_strengths),
+                        load_capacitances_f=tuple(load_capacitances_f),
+                        input_slews_s=tuple(input_slews_s),
+                        corners=tuple(corners)),
+        ),
+        sweep=sweep,
+        formatted=format_characterization(sweep),
+        grid_shape=grid.shape,
+        points=len(sweep.points),
+        monotone_in_load=(
             bool(np.all(np.diff(grid, axis=2) > 0.0))
             if grid.shape[2] > 1 else None
         ),
-        "faster_at_higher_drive": (
+        faster_at_higher_drive=(
             bool(np.all(np.diff(grid, axis=1) < 0.0))
             if grid.shape[1] > 1 else None
         ),
-    }
+    )
 
 
 def run_pitch_sensitivity(gate_width_nm: float = FO4_GATE_WIDTH_NM,
-                          pitch_range_nm=(4.5, 5.5), steps: int = 11) -> Dict[str, float]:
+                          pitch_range_nm=(4.5, 5.5),
+                          steps: int = 11) -> PitchSensitivityResult:
     """Delay variation across the paper's "optimal pitch range" (≤1 %)."""
     params = calibrated_cnfet_parameters()
     reference = cmos_inverter(CMOS_NMOS_WIDTH_NM, CMOS_PMOS_WIDTH_NM)
@@ -343,19 +385,24 @@ def run_pitch_sensitivity(gate_width_nm: float = FO4_GATE_WIDTH_NM,
         )
         delays.append(comparison.cnfet.delay_s)
     variation = (max(delays) - min(delays)) / min(delays)
-    return {
-        "pitch_low_nm": low,
-        "pitch_high_nm": high,
-        "delay_variation": variation,
-        "paper_variation": paper_anchors().optimal_pitch_delay_variation,
-    }
+    return PitchSensitivityResult(
+        provenance=Provenance.capture(
+            "pitch",
+            params=dict(gate_width_nm=gate_width_nm,
+                        pitch_range_nm=tuple(pitch_range_nm), steps=steps),
+        ),
+        pitch_low_nm=low,
+        pitch_high_nm=high,
+        delay_variation=variation,
+        paper_variation=paper_anchors().optimal_pitch_delay_variation,
+    )
 
 
 # ---------------------------------------------------------------------------
 # E6 — Figures 8/9 / Case study 2: the full adder
 # ---------------------------------------------------------------------------
 
-def run_fulladder_case_study(unit_width: float = 4.0) -> Dict[str, object]:
+def run_fulladder_case_study(unit_width: float = 4.0) -> FullAdderResult:
     """Full-adder delay/energy/area for scheme 1, scheme 2 and CMOS."""
     anchors = paper_anchors()
     netlist = full_adder_netlist()
@@ -383,64 +430,66 @@ def run_fulladder_case_study(unit_width: float = 4.0) -> Dict[str, object]:
         return GainReport(cnfet=cnfet, cmos=cmos)
 
     gains = {scheme: figures(scheme) for scheme in results}
-    return {
-        "flow_results": results,
-        "gains": gains,
-        "delay_gain": gains[1].delay_gain,
-        "energy_gain": gains[1].energy_gain,
-        "area_gain_scheme1": gains[1].area_gain,
-        "area_gain_scheme2": gains[2].area_gain,
-        "paper": {
+    return FullAdderResult(
+        provenance=Provenance.capture(
+            "fig8", params={"unit_width": unit_width},
+        ),
+        flow_summaries={scheme: flow.summarize()
+                        for scheme, flow in results.items()},
+        gains=gains,
+        delay_gain=gains[1].delay_gain,
+        energy_gain=gains[1].energy_gain,
+        area_gain_scheme1=gains[1].area_gain,
+        area_gain_scheme2=gains[2].area_gain,
+        paper={
             "delay_gain": anchors.fulladder_delay_gain,
             "energy_gain": anchors.fulladder_energy_gain,
             "area_gain_scheme1": anchors.fulladder_area_gain_scheme1,
             "area_gain_scheme2": anchors.fulladder_area_gain_scheme2,
         },
-    }
+        flow_results=results,
+    )
 
 
-def format_fulladder(result: Dict[str, object]) -> str:
-    """Render the full-adder case study as text."""
-    paper = result["paper"]
-    lines = [
-        "Full adder (NAND2 + INV, Figure 8) — CNFET vs 65 nm CMOS",
-        "-" * 60,
-        f"delay gain            : {result['delay_gain']:.2f}x (paper ~{paper['delay_gain']}x)",
-        f"energy gain           : {result['energy_gain']:.2f}x (paper ~{paper['energy_gain']}x)",
-        f"area gain (scheme 1)  : {result['area_gain_scheme1']:.2f}x (paper ~{paper['area_gain_scheme1']}x)",
-        f"area gain (scheme 2)  : {result['area_gain_scheme2']:.2f}x (paper ~{paper['area_gain_scheme2']}x)",
-    ]
-    return "\n".join(lines)
+def format_fulladder(result) -> str:
+    """Render the full-adder case study as text.
+
+    .. deprecated:: 0.2
+        ``str(result)`` on the typed :class:`FullAdderResult` renders the
+        same report; this wrapper remains for dict payloads.
+    """
+    return render_fulladder(result)
 
 
 # ---------------------------------------------------------------------------
 # E7 — headline EDP / EDAP summary (abstract + conclusions)
 # ---------------------------------------------------------------------------
 
-def run_edp_summary() -> Dict[str, float]:
+def run_edp_summary() -> EdpSummaryResult:
     """Inverter-level EDP/EDAP gains at the optimal pitch."""
     fig7 = run_fig7_fo4()
-    best = fig7["optimal"]
-    single = fig7["single_cnt"]
-    area_gain = fig7["inverter_area_gain"]
+    best = fig7.optimal
+    single = fig7.single_cnt
+    area_gain = fig7.inverter_area_gain
     anchors = paper_anchors()
-    edp_gain_optimal = best["delay_gain"] * best["energy_gain"]
-    edp_gain_single = single["delay_gain"] * single["energy_gain"]
-    return {
-        "delay_gain_optimal": best["delay_gain"],
-        "energy_gain_optimal": best["energy_gain"],
-        "area_gain": area_gain,
-        "edp_gain_optimal": edp_gain_optimal,
-        "edp_gain_single_cnt": edp_gain_single,
-        "edp_gain_best": max(edp_gain_optimal, edp_gain_single),
-        "edap_gain_optimal": edp_gain_optimal * area_gain,
-        "paper_edp_gain": anchors.edp_gain_headline,
-        "paper_edap_gain": anchors.edap_gain_headline,
-        "paper_area_saving": 0.30,
-    }
+    edp_gain_optimal = best.delay_gain * best.energy_gain
+    edp_gain_single = single.delay_gain * single.energy_gain
+    return EdpSummaryResult(
+        provenance=Provenance.capture("edp", params={}),
+        delay_gain_optimal=best.delay_gain,
+        energy_gain_optimal=best.energy_gain,
+        area_gain=area_gain,
+        edp_gain_optimal=edp_gain_optimal,
+        edp_gain_single_cnt=edp_gain_single,
+        edp_gain_best=max(edp_gain_optimal, edp_gain_single),
+        edap_gain_optimal=edp_gain_optimal * area_gain,
+        paper_edp_gain=anchors.edp_gain_headline,
+        paper_edap_gain=anchors.edap_gain_headline,
+        paper_area_saving=0.30,
+    )
 
 
-def run_all(fast: bool = True) -> Dict[str, object]:
+def run_all(fast: bool = True) -> Dict[str, StudyResult]:
     """Run every experiment; with ``fast`` the Monte Carlo trial count is
     reduced so the whole suite stays interactive."""
     trials = 50 if fast else 500

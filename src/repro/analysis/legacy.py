@@ -1,0 +1,69 @@
+"""Deprecation shims: the pre-Study-API plain-dict experiment runners.
+
+Before the Study redesign every ``run_*`` function returned an untyped
+``Dict[str, object]``.  The typed results are Mapping-compatible, so most
+call sites need no shim at all — but code that requires a *real* ``dict``
+(mutation, ``type(...) is dict`` checks) can import the same names from
+this module.  Each shim emits a :class:`DeprecationWarning` and returns
+``run_*(...).to_dict()``, which is key-for-key, bit-for-bit identical to
+the historical payload for fixed seeds.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from typing import Callable, Dict
+
+from . import experiments
+
+__all__ = [
+    "run_table1", "run_fig3_nand3", "run_fig2_immunity", "run_immunity_sweep",
+    "run_fig4_aoi31", "run_fig7_fo4", "run_fo4_transient_sweep",
+    "run_characterization", "run_pitch_sensitivity",
+    "run_fulladder_case_study", "run_edp_summary", "run_all",
+]
+
+
+def _dict_shim(runner: Callable) -> Callable[..., Dict[str, object]]:
+    @functools.wraps(runner)
+    def shim(*args, **kwargs) -> Dict[str, object]:
+        warnings.warn(
+            f"repro.analysis.legacy.{runner.__name__} returns the old plain "
+            f"dict; prefer repro.analysis.{runner.__name__}, whose typed "
+            "result supports the same subscription plus to_dict()/to_json()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return runner(*args, **kwargs).to_dict()
+
+    shim.__doc__ = (
+        f"Deprecated dict-returning shim around "
+        f":func:`repro.analysis.experiments.{runner.__name__}`."
+    )
+    return shim
+
+
+run_table1 = _dict_shim(experiments.run_table1)
+run_fig3_nand3 = _dict_shim(experiments.run_fig3_nand3)
+run_fig2_immunity = _dict_shim(experiments.run_fig2_immunity)
+run_immunity_sweep = _dict_shim(experiments.run_immunity_sweep)
+run_fig4_aoi31 = _dict_shim(experiments.run_fig4_aoi31)
+run_fig7_fo4 = _dict_shim(experiments.run_fig7_fo4)
+run_fo4_transient_sweep = _dict_shim(experiments.run_fo4_transient_sweep)
+run_characterization = _dict_shim(experiments.run_characterization)
+run_pitch_sensitivity = _dict_shim(experiments.run_pitch_sensitivity)
+run_fulladder_case_study = _dict_shim(experiments.run_fulladder_case_study)
+run_edp_summary = _dict_shim(experiments.run_edp_summary)
+
+
+def run_all(fast: bool = True) -> Dict[str, Dict[str, object]]:
+    """Deprecated dict-of-dicts shim around :func:`repro.analysis.run_all`."""
+    warnings.warn(
+        "repro.analysis.legacy.run_all returns plain dicts; prefer "
+        "repro.analysis.run_all, whose values are typed StudyResults",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return {name: result.to_dict()
+            for name, result in experiments.run_all(fast=fast).items()}

@@ -108,5 +108,10 @@ class MappingError(FlowError):
     """Raised when a netlist gate cannot be mapped onto the cell library."""
 
 
+class StudyError(ReproError):
+    """Raised by the Study layer (unknown studies, malformed sweep axes,
+    unserializable results, invalid CLI requests)."""
+
+
 class PlacementError(FlowError):
     """Raised when placement constraints cannot be satisfied."""

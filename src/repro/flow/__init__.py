@@ -1,6 +1,6 @@
 """Logic-to-GDSII flow: parsing, mapping, placement, design-kit facade."""
 
-from .designkit import CNFETDesignKit, FlowReport, FlowResult
+from .designkit import CNFETDesignKit, FlowReport, FlowResult, FlowSummary
 from .placement import (
     PlacedCell,
     PlacementResult,
@@ -19,7 +19,7 @@ from .verilog import (
 )
 
 __all__ = [
-    "CNFETDesignKit", "FlowReport", "FlowResult",
+    "CNFETDesignKit", "FlowReport", "FlowResult", "FlowSummary",
     "PlacedCell", "PlacementResult", "place_cmos_reference",
     "place_scheme1", "place_scheme2", "placement_layout",
     "MappedDesign", "MappedGate", "check_library_coverage", "map_netlist",

@@ -11,6 +11,7 @@ the 65 nm CMOS reference in a few calls.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
@@ -56,21 +57,45 @@ class FlowReport:
 
     @property
     def area_gain_vs_cmos(self) -> float:
-        """CMOS core area over CNFET core area."""
+        """CMOS core area over CNFET core area.
+
+        A non-positive core area means placement produced a degenerate
+        (empty or collapsed) core — that is a broken flow, not an infinite
+        gain, so it raises :class:`~repro.errors.FlowError` instead of
+        masking the problem.
+        """
         if self.placement.core_area <= 0:
-            return float("inf")
+            raise FlowError(
+                f"{self.design_name}: degenerate CNFET placement "
+                f"(core area {self.placement.core_area:g} λ²); "
+                "cannot compute area gain"
+            )
+        if self.cmos_placement.core_area <= 0:
+            raise FlowError(
+                f"{self.design_name}: degenerate CMOS reference placement "
+                f"(core area {self.cmos_placement.core_area:g} λ²); "
+                "cannot compute area gain"
+            )
         return self.cmos_placement.core_area / self.placement.core_area
 
     @property
     def delay_gain_vs_cmos(self) -> float:
         if self.timing.critical_path_delay <= 0:
-            return float("inf")
+            raise FlowError(
+                f"{self.design_name}: non-positive CNFET critical-path delay "
+                f"({self.timing.critical_path_delay:g} s); timing analysis "
+                "did not produce a usable path"
+            )
         return self.cmos_timing.critical_path_delay / self.timing.critical_path_delay
 
     @property
     def energy_gain_vs_cmos(self) -> float:
         if self.timing.total_energy_per_cycle <= 0:
-            return float("inf")
+            raise FlowError(
+                f"{self.design_name}: non-positive CNFET energy per cycle "
+                f"({self.timing.total_energy_per_cycle:g} J); timing analysis "
+                "did not produce usable energies"
+            )
         return (
             self.cmos_timing.total_energy_per_cycle / self.timing.total_energy_per_cycle
         )
@@ -94,6 +119,31 @@ class FlowReport:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class FlowSummary:
+    """The serializable distillation of one flow run.
+
+    Everything the Study layer needs to report or compare runs headlessly
+    — scalar areas, delays, energies and a GDSII fingerprint — without
+    dragging the placed layout or the GDSII byte stream along.  Produced
+    by :meth:`FlowResult.summarize`.
+    """
+
+    design_name: str
+    scheme: int
+    gate_count: int
+    cell_usage: Dict[str, int]
+    core_area: float
+    utilization: float
+    cmos_core_area: float
+    critical_path_delay: float
+    total_energy_per_cycle: float
+    cmos_critical_path_delay: float
+    cmos_total_energy_per_cycle: float
+    gds_size_bytes: int
+    gds_sha256: str
+
+
 @dataclass
 class FlowResult:
     """Everything a flow run produces."""
@@ -102,6 +152,25 @@ class FlowResult:
     mapped: MappedDesign
     layout: Layout
     gds_bytes: bytes
+
+    def summarize(self) -> FlowSummary:
+        """Distil the run into its serializable :class:`FlowSummary`."""
+        report = self.report
+        return FlowSummary(
+            design_name=report.design_name,
+            scheme=report.scheme,
+            gate_count=report.gate_count,
+            cell_usage=dict(report.cell_usage),
+            core_area=report.placement.core_area,
+            utilization=report.placement.utilization,
+            cmos_core_area=report.cmos_placement.core_area,
+            critical_path_delay=report.timing.critical_path_delay,
+            total_energy_per_cycle=report.timing.total_energy_per_cycle,
+            cmos_critical_path_delay=report.cmos_timing.critical_path_delay,
+            cmos_total_energy_per_cycle=report.cmos_timing.total_energy_per_cycle,
+            gds_size_bytes=len(self.gds_bytes),
+            gds_sha256=hashlib.sha256(self.gds_bytes).hexdigest(),
+        )
 
 
 class CNFETDesignKit:

@@ -1,0 +1,228 @@
+"""The ``repro`` command line: every paper scenario reachable headlessly.
+
+Examples::
+
+    python -m repro list
+    python -m repro run fig7 --json fig7.json
+    python -m repro run fig2 --seed 7 --trials 500 --json -
+    python -m repro run fig8 --text
+    python -m repro sweep --engine immunity --axis cnts_per_trial=2,4,8 \
+        --axis technique=vulnerable,compact --trials 500 --json -
+    python -m repro sweep --engine transient --axis vdd=0.8:1.0:5 \
+        --set cell=NAND2 --json sweep.json
+
+``--json -`` streams the serialized result envelope (schema
+``repro-study-result/v1``; see ``docs/repro_result.schema.json``) to
+stdout; ``--json PATH`` writes it to a file.  Without ``--json`` the
+result's text rendering (``str(result)``) is printed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..errors import ReproError, StudyError
+from .registry import get_study, list_studies, run_study
+from .results import StudyResult
+from .spec import SweepSpec, _parse_scalar
+from .sweeps import run_sweep_study
+
+
+def _parse_assignment(text: str) -> tuple:
+    """``"key=value"`` -> (key, parsed value).
+
+    Commas build a tuple; a trailing comma makes a one-element tuple
+    (``tube_counts=4,`` -> ``(4,)``), which is how sequence-typed runner
+    parameters take a single value from the command line.
+    """
+    key, sep, raw = text.partition("=")
+    key = key.strip()
+    if not sep or not key:
+        raise StudyError(f"Malformed parameter {text!r}; expected key=value")
+    raw = raw.strip()
+    lowered = raw.lower()
+    if lowered in ("true", "false"):
+        return key, lowered == "true"
+    if lowered in ("none", "null"):
+        return key, None
+    if "," in raw:
+        tokens = [token for token in raw.split(",") if token.strip()]
+        if not tokens:
+            raise StudyError(f"Parameter {text!r} has no values")
+        return key, tuple(_parse_scalar(token) for token in tokens)
+    return key, _parse_scalar(raw)
+
+
+def _emit(result: StudyResult, json_target: Optional[str],
+          as_text: bool, stdout) -> None:
+    if json_target is not None:
+        if json_target == "-":
+            stdout.write(result.to_json() + "\n")
+        else:
+            result.to_json(path=json_target)
+            stdout.write(f"wrote {json_target}\n")
+    if as_text or json_target is None:
+        stdout.write(str(result) + "\n")
+
+
+def _cmd_list(args, stdout) -> int:
+    studies = list_studies()
+    if args.json:
+        import json as json_module
+
+        stdout.write(json_module.dumps(
+            [
+                {
+                    "name": definition.name,
+                    "figure": definition.figure,
+                    "description": definition.description,
+                    "aliases": list(definition.aliases),
+                }
+                for definition in studies
+            ],
+            indent=2,
+        ) + "\n")
+        return 0
+    header = f"{'name':<18} {'figure':<12} description"
+    stdout.write(header + "\n")
+    stdout.write("-" * 72 + "\n")
+    for definition in studies:
+        aliases = f"  (aliases: {', '.join(definition.aliases)})" \
+            if definition.aliases else ""
+        stdout.write(
+            f"{definition.name:<18} {definition.figure:<12} "
+            f"{definition.description}{aliases}\n"
+        )
+    stdout.write(
+        "\nrun one with: python -m repro run <name> [--json out.json]\n"
+    )
+    return 0
+
+
+def _cmd_run(args, stdout) -> int:
+    definition = get_study(args.study)
+    accepted = set(inspect.signature(definition.runner).parameters)
+    params: Dict[str, Any] = {}
+    for text in args.param or []:
+        key, value = _parse_assignment(text)
+        params[key] = value
+    if args.seed is not None:
+        if "seed" not in accepted:
+            raise StudyError(
+                f"Study {definition.name!r} takes no seed; "
+                f"parameters: {sorted(accepted)}"
+            )
+        params["seed"] = args.seed
+    if args.trials is not None:
+        if "trials" not in accepted:
+            raise StudyError(
+                f"Study {definition.name!r} takes no trial count; "
+                f"parameters: {sorted(accepted)}"
+            )
+        params["trials"] = args.trials
+    result = run_study(definition.name, **params)
+    _emit(result, args.json, args.text, stdout)
+    return 0
+
+
+def _cmd_sweep(args, stdout) -> int:
+    spec = SweepSpec.parse(args.axis, mode=args.mode)
+    fixed: Dict[str, Any] = {}
+    for text in args.set or []:
+        key, value = _parse_assignment(text)
+        fixed[key] = value
+    kwargs: Dict[str, Any] = dict(fixed)
+    if args.engine == "immunity":
+        kwargs["trials"] = args.trials if args.trials is not None else 200
+        kwargs["seed"] = args.seed if args.seed is not None else 2009
+    elif args.trials is not None or args.seed is not None:
+        # Mirror `repro run`: rejecting the flags beats silently ignoring
+        # them — the transient engine is deterministic and unseeded.
+        raise StudyError(
+            f"Engine {args.engine!r} takes no --seed/--trials "
+            "(the transient engine is deterministic)"
+        )
+    result = run_sweep_study(spec, engine=args.engine, **kwargs)
+    _emit(result, args.json, args.text, stdout)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce the paper's figures and tables headlessly "
+            "(typed Study API over the vectorized engines)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser(
+        "list", help="list every runnable study")
+    list_parser.add_argument("--json", action="store_true",
+                             help="emit the study table as JSON")
+    list_parser.set_defaults(handler=_cmd_list)
+
+    run_parser = subparsers.add_parser(
+        "run", help="run one study (repro run fig7 --json out.json)")
+    run_parser.add_argument("study", help="study name or alias (see: repro list)")
+    run_parser.add_argument("--json", metavar="PATH",
+                            help="write the serialized result ('-' = stdout)")
+    run_parser.add_argument("--text", action="store_true",
+                            help="also print the text rendering with --json")
+    run_parser.add_argument("--seed", type=int, default=None,
+                            help="Monte Carlo seed (seeded studies only)")
+    run_parser.add_argument("--trials", type=int, default=None,
+                            help="Monte Carlo trial count (seeded studies only)")
+    run_parser.add_argument("--param", action="append", metavar="KEY=VALUE",
+                            help="extra runner parameter (repeatable; commas "
+                                 "build a list, trailing comma a one-element "
+                                 "list, e.g. tube_counts=4,)")
+    run_parser.set_defaults(handler=_cmd_run)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="run a unified sweep (repro sweep --axis vdd=0.8:1.0:5 ...)")
+    sweep_parser.add_argument("--axis", action="append", required=True,
+                              metavar="NAME=SPEC",
+                              help="axis as name=start:stop:steps, name=a,b,c "
+                                   "or name=value (repeatable)")
+    sweep_parser.add_argument("--engine", choices=("immunity", "transient"),
+                              default="immunity")
+    sweep_parser.add_argument("--mode", choices=("grid", "zip"), default="grid",
+                              help="cartesian grid or lock-step zip expansion")
+    sweep_parser.add_argument("--trials", type=int, default=None,
+                              help="Monte Carlo trials (immunity engine; "
+                                   "default 200)")
+    sweep_parser.add_argument("--seed", type=int, default=None,
+                              help="Monte Carlo seed (immunity engine; "
+                                   "default 2009)")
+    sweep_parser.add_argument("--set", action="append", metavar="KEY=VALUE",
+                              help="fixed value for an unswept axis (repeatable)")
+    sweep_parser.add_argument("--json", metavar="PATH",
+                              help="write the serialized result ('-' = stdout)")
+    sweep_parser.add_argument("--text", action="store_true",
+                              help="also print the text rendering with --json")
+    sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None,
+         stdout=None, stderr=None) -> int:
+    stdout = stdout if stdout is not None else sys.stdout
+    stderr = stderr if stderr is not None else sys.stderr
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        return args.handler(args, stdout)
+    except ReproError as error:
+        stderr.write(f"error: {error}\n")
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    raise SystemExit(main())

@@ -1,0 +1,796 @@
+"""Typed, serializable results for every experiment of the evaluation.
+
+Each ``run_*`` runner in :mod:`repro.analysis.experiments` historically
+returned an untyped ``Dict[str, object]``.  The classes here give every
+experiment a frozen dataclass result with four guarantees:
+
+* **compatibility** — results speak the Mapping protocol and
+  :meth:`StudyResult.to_dict` reproduces the pre-redesign dict payload
+  exactly (same keys, bit-identical values for fixed seeds), so existing
+  ``result["optimal"]["delay_gain"]`` call sites keep working;
+* **serialization** — :meth:`StudyResult.to_json` / ``from_json`` round-
+  trip losslessly through the tagged encoding of
+  :mod:`repro.study.serialize`, NumPy fields included;
+* **provenance** — every result carries a :class:`Provenance` block
+  (study, engine, seed, parameters, content hash, package version);
+* **rendering** — ``str(result)`` replaces the old ad-hoc ``format_fig7``
+  / ``format_fulladder`` helpers.
+
+The one documented exception to losslessness: the full-adder study's
+in-memory flow artifacts (placed layouts, GDSII bytes) serialize as
+:class:`~repro.flow.designkit.FlowSummary` views, not as the multi-
+megabyte object graphs themselves.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import (
+    Any, ClassVar, Dict, Iterator, List, Mapping, Optional, Tuple, Type,
+)
+
+from ..errors import StudyError
+from .serialize import config_hash, decode, encode
+
+#: Version tag of the serialized result envelope.
+RESULT_SCHEMA = "repro-study-result/v1"
+
+
+def _package_version() -> str:
+    from .. import __version__
+    return __version__
+
+
+def _normalize_seeds(value: Any) -> Any:
+    """Replace :class:`~numpy.random.SeedSequence` values (which compare by
+    identity) with their tagged-dict form so provenance stays value-
+    comparable across serialization; everything else passes through."""
+    import numpy as np
+
+    if isinstance(value, np.random.SeedSequence):
+        return encode(value)
+    if isinstance(value, dict):
+        return {key: _normalize_seeds(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return type(value)(_normalize_seeds(item) for item in value)
+    return value
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Where a result came from: enough to reproduce it headlessly.
+
+    ``params`` holds the runner's full keyword set and ``seed`` the seed it
+    was given (seed sequences normalised to their tagged-dict form);
+    ``config_hash`` is a short content hash of (study, params, schema) —
+    two results with the same hash were produced by the same configuration
+    of the same code version, which makes result files git-describable.
+    """
+
+    study: str
+    params: Dict[str, Any]
+    engine: Optional[str] = None
+    seed: Any = None
+    config_hash: str = ""
+    package_version: str = ""
+    schema: str = RESULT_SCHEMA
+
+    @classmethod
+    def capture(cls, study: str, params: Optional[Mapping[str, Any]] = None,
+                engine: Optional[str] = None, seed: Any = None) -> "Provenance":
+        """Record the configuration of a runner invocation."""
+        safe_params = {key: _normalize_seeds(value)
+                       for key, value in (params or {}).items()}
+        return cls(
+            study=study,
+            params=safe_params,
+            engine=engine,
+            seed=_normalize_seeds(seed) if seed is not None else None,
+            config_hash=config_hash(
+                {"study": study, "params": safe_params, "schema": RESULT_SCHEMA}
+            ),
+            package_version=_package_version(),
+        )
+
+    @classmethod
+    def unknown(cls, study: str) -> "Provenance":
+        """Placeholder provenance for results rebuilt from bare payloads."""
+        return cls.capture(study, params={"reconstructed": True})
+
+
+#: Result classes by study name, for ``from_json`` dispatch.
+_RESULT_TYPES: Dict[str, Type["StudyResult"]] = {}
+
+
+@dataclass(frozen=True)
+class StudyResult:
+    """Base class of every typed experiment result.
+
+    Subclasses are frozen dataclasses that set ``study_name`` and
+    implement :meth:`to_dict` (the legacy payload) plus
+    :meth:`from_payload` (its inverse).  The Mapping protocol delegates to
+    :meth:`to_dict`, which is what keeps pre-redesign subscription code
+    working unchanged.
+    """
+
+    provenance: Provenance = field(repr=False, metadata={"serialize": False})
+
+    study_name: ClassVar[str] = ""
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        name = cls.__dict__.get("study_name") or getattr(cls, "study_name", "")
+        if name:
+            _RESULT_TYPES[name] = cls
+
+    # -- the legacy payload ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The pre-redesign dict payload of this experiment (same keys,
+        bit-identical values for fixed seeds)."""
+        raise NotImplementedError
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any],
+                     provenance: Provenance) -> "StudyResult":
+        """Rebuild a result from a (decoded) payload mapping."""
+        raise NotImplementedError
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any],
+                  provenance: Optional[Provenance] = None) -> "StudyResult":
+        """Rebuild a result from a :meth:`to_dict` payload."""
+        return cls.from_payload(
+            payload, provenance or Provenance.unknown(cls.study_name)
+        )
+
+    # -- Mapping compatibility -------------------------------------------------
+
+    def __getitem__(self, key: str) -> Any:
+        return self.to_dict()[key]
+
+    def __contains__(self, key: object) -> bool:
+        return key in self.to_dict()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.to_dict())
+
+    def __len__(self) -> int:
+        return len(self.to_dict())
+
+    def keys(self):
+        return self.to_dict().keys()
+
+    def values(self):
+        return self.to_dict().values()
+
+    def items(self):
+        return self.to_dict().items()
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.to_dict().get(key, default)
+
+    # -- JSON round-trip -------------------------------------------------------
+
+    def payload_for_json(self) -> Dict[str, Any]:
+        """The payload to serialize; defaults to :meth:`to_dict`.
+        Subclasses carrying unserializable artifacts override this to
+        substitute summary views."""
+        return self.to_dict()
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """The serialized envelope: schema + study + provenance + payload."""
+        return {
+            "schema": RESULT_SCHEMA,
+            "study": type(self).study_name,
+            "provenance": {
+                f.name: encode(getattr(self.provenance, f.name))
+                for f in dataclass_fields(self.provenance)
+            },
+            "payload": encode(self.payload_for_json()),
+        }
+
+    def to_json(self, path: Optional[str] = None, indent: int = 2) -> str:
+        """Serialize to JSON text; optionally also write it to ``path``."""
+        text = json.dumps(self.to_json_dict(), indent=indent, sort_keys=True)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as stream:
+                stream.write(text + "\n")
+        return text
+
+    @classmethod
+    def from_json_dict(cls, document: Mapping[str, Any]) -> "StudyResult":
+        """Rebuild a result from a :meth:`to_json_dict` envelope."""
+        try:
+            study = document["study"]
+            raw_provenance = document["provenance"]
+            raw_payload = document["payload"]
+        except (KeyError, TypeError) as error:
+            raise StudyError(f"Malformed study-result document: {error}") from error
+        result_type = _RESULT_TYPES.get(study)
+        if result_type is None:
+            raise StudyError(
+                f"Unknown study {study!r}; known: {sorted(_RESULT_TYPES)}"
+            )
+        if cls is not StudyResult and cls is not result_type:
+            raise StudyError(
+                f"Document holds a {study!r} result, not {cls.study_name!r}"
+            )
+        if not isinstance(raw_provenance, Mapping):
+            raise StudyError("Malformed study-result document: provenance "
+                             "must be an object")
+        # Unknown provenance keys (e.g. fields added by a newer package
+        # version) are dropped rather than fatal; missing required ones
+        # surface as a StudyError, not a raw TypeError.
+        known = {f.name for f in dataclass_fields(Provenance)}
+        try:
+            provenance = Provenance(**{
+                key: decode(value) for key, value in raw_provenance.items()
+                if key in known
+            })
+        except TypeError as error:
+            raise StudyError(
+                f"Malformed provenance block: {error}"
+            ) from error
+        return result_type.from_payload(decode(raw_payload), provenance)
+
+    @classmethod
+    def from_json(cls, text: str) -> "StudyResult":
+        return cls.from_json_dict(json.loads(text))
+
+
+# ---------------------------------------------------------------------------
+# Shared renderings (the canonical replacements of the format_* helpers)
+# ---------------------------------------------------------------------------
+
+def render_fig7(result: Mapping[str, Any]) -> str:
+    """Render a Figure 7 sweep payload as a text table."""
+    header = (f"{'CNTs':>5} {'pitch(nm)':>10} {'delay gain':>11} "
+              f"{'energy gain':>12} {'EDP gain':>9}")
+    lines = [header, "-" * len(header)]
+    for point in result["sweep"]:
+        lines.append(
+            f"{point['num_tubes']:>5} {point['pitch_nm']:>10.2f} "
+            f"{point['delay_gain']:>11.2f} {point['energy_gain']:>12.2f} "
+            f"{point['edp_gain']:>9.2f}"
+        )
+    best = result["optimal"]
+    paper = result["paper"]
+    lines.append("")
+    lines.append(
+        f"optimal: {best['delay_gain']:.2f}x delay, {best['energy_gain']:.2f}x energy "
+        f"at pitch {best['pitch_nm']:.2f} nm "
+        f"(paper: {paper['delay_gain_optimal']}x, {paper['energy_gain_optimal']}x at "
+        f"{paper['optimal_pitch_nm']} nm)"
+    )
+    return "\n".join(lines)
+
+
+def render_fulladder(result: Mapping[str, Any]) -> str:
+    """Render the full-adder case study payload as text."""
+    paper = result["paper"]
+    lines = [
+        "Full adder (NAND2 + INV, Figure 8) — CNFET vs 65 nm CMOS",
+        "-" * 60,
+        f"delay gain            : {result['delay_gain']:.2f}x (paper ~{paper['delay_gain']}x)",
+        f"energy gain           : {result['energy_gain']:.2f}x (paper ~{paper['energy_gain']}x)",
+        f"area gain (scheme 1)  : {result['area_gain_scheme1']:.2f}x (paper ~{paper['area_gain_scheme1']}x)",
+        f"area gain (scheme 2)  : {result['area_gain_scheme2']:.2f}x (paper ~{paper['area_gain_scheme2']}x)",
+    ]
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Per-figure results
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Table1Result(StudyResult):
+    """Table 1: area saving of the compact vs baseline layouts."""
+
+    study_name: ClassVar[str] = "table1"
+
+    rows: Tuple[Any, ...] = ()                  # AreaComparisonRow entries
+    formatted: str = ""
+    mean_absolute_error: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rows": list(self.rows),
+            "formatted": self.formatted,
+            "mean_absolute_error": self.mean_absolute_error,
+        }
+
+    @classmethod
+    def from_payload(cls, payload, provenance):
+        return cls(
+            provenance=provenance,
+            rows=tuple(payload["rows"]),
+            formatted=payload["formatted"],
+            mean_absolute_error=payload["mean_absolute_error"],
+        )
+
+    def __str__(self) -> str:
+        return self.formatted
+
+
+@dataclass(frozen=True)
+class Fig3Result(StudyResult):
+    """Figure 3: the NAND3 compaction walk-through."""
+
+    study_name: ClassVar[str] = "fig3"
+
+    unit_width: float = 4.0
+    baseline_area: float = 0.0
+    compact_area: float = 0.0
+    measured_saving: float = 0.0
+    paper_saving: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "unit_width": self.unit_width,
+            "baseline_area": self.baseline_area,
+            "compact_area": self.compact_area,
+            "measured_saving": self.measured_saving,
+            "paper_saving": self.paper_saving,
+        }
+
+    @classmethod
+    def from_payload(cls, payload, provenance):
+        return cls(provenance=provenance, **payload)
+
+    def __str__(self) -> str:
+        paper = ("n/a" if self.paper_saving is None
+                 else f"{self.paper_saving * 100:.2f}%")
+        return (
+            f"NAND3 compaction at {self.unit_width:g} λ: "
+            f"{self.baseline_area:g} λ² -> {self.compact_area:g} λ² "
+            f"({self.measured_saving * 100:.2f}% saved, paper {paper})"
+        )
+
+
+@dataclass(frozen=True)
+class Fig2ImmunityResult(StudyResult):
+    """Figure 2: Monte Carlo immunity per layout technique."""
+
+    study_name: ClassVar[str] = "fig2"
+
+    gate: str = ""
+    results: Dict[str, Any] = field(default_factory=dict)  # MonteCarloResult
+    formatted: str = ""
+    vulnerable_failure_rate: float = 0.0
+    baseline_immune: bool = False
+    compact_immune: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "gate": self.gate,
+            "results": dict(self.results),
+            "formatted": self.formatted,
+            "vulnerable_failure_rate": self.vulnerable_failure_rate,
+            "baseline_immune": self.baseline_immune,
+            "compact_immune": self.compact_immune,
+        }
+
+    @classmethod
+    def from_payload(cls, payload, provenance):
+        return cls(
+            provenance=provenance,
+            gate=payload["gate"],
+            results=dict(payload["results"]),
+            formatted=payload["formatted"],
+            vulnerable_failure_rate=payload["vulnerable_failure_rate"],
+            baseline_immune=payload["baseline_immune"],
+            compact_immune=payload["compact_immune"],
+        )
+
+    def __str__(self) -> str:
+        return self.formatted
+
+
+@dataclass(frozen=True)
+class ImmunitySweepResult(StudyResult):
+    """The batched defect-parameter sweep extending Figure 2."""
+
+    study_name: ClassVar[str] = "immunity_sweep"
+
+    points: Tuple[Any, ...] = ()                # SweepPoint entries
+    formatted: str = ""
+    worst_failure_rate_by_technique: Dict[str, float] = field(default_factory=dict)
+    compact_always_immune: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "points": list(self.points),
+            "formatted": self.formatted,
+            "worst_failure_rate_by_technique": dict(
+                self.worst_failure_rate_by_technique
+            ),
+            "compact_always_immune": self.compact_always_immune,
+        }
+
+    @classmethod
+    def from_payload(cls, payload, provenance):
+        return cls(
+            provenance=provenance,
+            points=tuple(payload["points"]),
+            formatted=payload["formatted"],
+            worst_failure_rate_by_technique=dict(
+                payload["worst_failure_rate_by_technique"]
+            ),
+            compact_always_immune=payload["compact_always_immune"],
+        )
+
+    def __str__(self) -> str:
+        return self.formatted
+
+
+@dataclass(frozen=True)
+class Fig4Result(StudyResult):
+    """Figure 4: the generalised AOI31 compact layout."""
+
+    study_name: ClassVar[str] = "fig4"
+
+    gate: str = ""
+    pun_contacts: int = 0
+    pun_gates: int = 0
+    pdn_contacts: int = 0
+    pdn_gates: int = 0
+    pun_width_factors: Tuple[float, ...] = ()
+    pdn_width_factors: Tuple[float, ...] = ()
+    scheme1_area: float = 0.0
+    scheme2_area: float = 0.0
+    requires_etched_regions: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "gate": self.gate,
+            "pun_contacts": self.pun_contacts,
+            "pun_gates": self.pun_gates,
+            "pdn_contacts": self.pdn_contacts,
+            "pdn_gates": self.pdn_gates,
+            "pun_width_factors": list(self.pun_width_factors),
+            "pdn_width_factors": list(self.pdn_width_factors),
+            "scheme1_area": self.scheme1_area,
+            "scheme2_area": self.scheme2_area,
+            "requires_etched_regions": self.requires_etched_regions,
+        }
+
+    @classmethod
+    def from_payload(cls, payload, provenance):
+        data = dict(payload)
+        data["pun_width_factors"] = tuple(data["pun_width_factors"])
+        data["pdn_width_factors"] = tuple(data["pdn_width_factors"])
+        return cls(provenance=provenance, **data)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.gate}: {self.pun_gates}+{self.pdn_gates} gate stripes, "
+            f"{self.pun_contacts}+{self.pdn_contacts} contacts, "
+            f"{self.requires_etched_regions} etched regions; "
+            f"scheme 1 {self.scheme1_area:g} λ², scheme 2 {self.scheme2_area:g} λ²"
+        )
+
+
+class _PointBase:
+    """Shared dict conversion for flat sweep-point dataclasses: field
+    order is the legacy payload's key order, so adding a field updates
+    ``as_dict``/``from_mapping`` and the JSON round-trip in one place."""
+
+    def as_dict(self) -> Dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in dataclass_fields(self)}
+
+    @classmethod
+    def from_mapping(cls, data: Mapping[str, float]):
+        return cls(**{f.name: data[f.name] for f in dataclass_fields(cls)})
+
+
+@dataclass(frozen=True)
+class FO4GainPoint(_PointBase):
+    """One CNT-count point of the analytical Figure 7 sweep."""
+
+    num_tubes: int
+    pitch_nm: float
+    delay_gain: float
+    energy_gain: float
+    edp_gain: float
+    cnfet_delay_ps: float
+    cmos_delay_ps: float
+
+
+@dataclass(frozen=True)
+class Fig7Result(StudyResult):
+    """Figure 7 / Case study 1: FO4 gains vs number of CNTs."""
+
+    study_name: ClassVar[str] = "fig7"
+
+    sweep: Tuple[FO4GainPoint, ...] = ()
+    single_cnt: Optional[FO4GainPoint] = None
+    optimal: Optional[FO4GainPoint] = None
+    inverter_area_gain: float = 0.0
+    paper: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sweep": [point.as_dict() for point in self.sweep],
+            "single_cnt": self.single_cnt.as_dict() if self.single_cnt else None,
+            "optimal": self.optimal.as_dict() if self.optimal else None,
+            "inverter_area_gain": self.inverter_area_gain,
+            "paper": dict(self.paper),
+        }
+
+    @classmethod
+    def from_payload(cls, payload, provenance):
+        def point(data):
+            if data is None:
+                return None
+            if isinstance(data, FO4GainPoint):
+                return data
+            return FO4GainPoint.from_mapping(data)
+
+        return cls(
+            provenance=provenance,
+            sweep=tuple(point(entry) for entry in payload["sweep"]),
+            single_cnt=point(payload["single_cnt"]),
+            optimal=point(payload["optimal"]),
+            inverter_area_gain=payload["inverter_area_gain"],
+            paper=dict(payload["paper"]),
+        )
+
+    def __str__(self) -> str:
+        return render_fig7(self)
+
+
+@dataclass(frozen=True)
+class FO4TransientPoint(_PointBase):
+    """One CNT-count point of the waveform-level Figure 7 cross-check."""
+
+    num_tubes: int
+    pitch_nm: float
+    cnfet_delay_ps: float
+    cmos_delay_ps: float
+    delay_gain: float
+    energy_gain: float
+
+
+@dataclass(frozen=True)
+class Fo4TransientResult(StudyResult):
+    """The batch-transient-engine cross-check of the Figure 7 sweep."""
+
+    study_name: ClassVar[str] = "fo4_transient"
+
+    sweep: Tuple[FO4TransientPoint, ...] = ()
+    cmos_delay_ps: float = 0.0
+    optimal: Optional[FO4TransientPoint] = None
+    batch_size: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sweep": [point.as_dict() for point in self.sweep],
+            "cmos_delay_ps": self.cmos_delay_ps,
+            "optimal": self.optimal.as_dict() if self.optimal else None,
+            "batch_size": self.batch_size,
+        }
+
+    @classmethod
+    def from_payload(cls, payload, provenance):
+        def point(data):
+            if data is None:
+                return None
+            if isinstance(data, FO4TransientPoint):
+                return data
+            return FO4TransientPoint.from_mapping(data)
+
+        return cls(
+            provenance=provenance,
+            sweep=tuple(point(entry) for entry in payload["sweep"]),
+            cmos_delay_ps=payload["cmos_delay_ps"],
+            optimal=point(payload["optimal"]),
+            batch_size=payload["batch_size"],
+        )
+
+    def __str__(self) -> str:
+        header = (f"{'CNTs':>5} {'pitch(nm)':>10} {'CNFET(ps)':>10} "
+                  f"{'CMOS(ps)':>9} {'delay gain':>11} {'energy gain':>12}")
+        lines = [header, "-" * len(header)]
+        for p in self.sweep:
+            lines.append(
+                f"{p.num_tubes:>5} {p.pitch_nm:>10.2f} {p.cnfet_delay_ps:>10.2f} "
+                f"{p.cmos_delay_ps:>9.2f} {p.delay_gain:>11.2f} "
+                f"{p.energy_gain:>12.2f}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CharacterizationResult(StudyResult):
+    """Multi-corner standard-cell characterisation on the batch engine."""
+
+    study_name: ClassVar[str] = "characterization"
+
+    sweep: Any = None                           # CharacterizationSweep
+    formatted: str = ""
+    grid_shape: Tuple[int, ...] = ()
+    points: int = 0
+    monotone_in_load: Optional[bool] = None
+    faster_at_higher_drive: Optional[bool] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sweep": self.sweep,
+            "formatted": self.formatted,
+            "grid_shape": tuple(self.grid_shape),
+            "points": self.points,
+            "monotone_in_load": self.monotone_in_load,
+            "faster_at_higher_drive": self.faster_at_higher_drive,
+        }
+
+    @classmethod
+    def from_payload(cls, payload, provenance):
+        return cls(
+            provenance=provenance,
+            sweep=payload["sweep"],
+            formatted=payload["formatted"],
+            grid_shape=tuple(payload["grid_shape"]),
+            points=payload["points"],
+            monotone_in_load=payload["monotone_in_load"],
+            faster_at_higher_drive=payload["faster_at_higher_drive"],
+        )
+
+    def __str__(self) -> str:
+        return self.formatted
+
+
+@dataclass(frozen=True)
+class PitchSensitivityResult(StudyResult):
+    """Delay variation across the optimal-pitch window."""
+
+    study_name: ClassVar[str] = "pitch"
+
+    pitch_low_nm: float = 0.0
+    pitch_high_nm: float = 0.0
+    delay_variation: float = 0.0
+    paper_variation: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "pitch_low_nm": self.pitch_low_nm,
+            "pitch_high_nm": self.pitch_high_nm,
+            "delay_variation": self.delay_variation,
+            "paper_variation": self.paper_variation,
+        }
+
+    @classmethod
+    def from_payload(cls, payload, provenance):
+        return cls(provenance=provenance, **payload)
+
+    def __str__(self) -> str:
+        return (
+            f"FO4 delay varies {self.delay_variation * 100:.2f}% across "
+            f"{self.pitch_low_nm:g}-{self.pitch_high_nm:g} nm pitch "
+            f"(paper ~{self.paper_variation * 100:.0f}%)"
+        )
+
+
+@dataclass(frozen=True)
+class FullAdderResult(StudyResult):
+    """Figures 8/9 / Case study 2: the full adder through the flow.
+
+    ``flow_results`` holds the live in-memory :class:`~repro.flow.designkit.
+    FlowResult` artifacts of a fresh run (excluded from equality and from
+    serialization); ``flow_summaries`` is the serializable view that
+    survives the JSON round-trip.
+    """
+
+    study_name: ClassVar[str] = "fig8"
+
+    flow_summaries: Dict[int, Any] = field(default_factory=dict)  # FlowSummary
+    gains: Dict[int, Any] = field(default_factory=dict)           # GainReport
+    delay_gain: float = 0.0
+    energy_gain: float = 0.0
+    area_gain_scheme1: float = 0.0
+    area_gain_scheme2: float = 0.0
+    paper: Dict[str, Any] = field(default_factory=dict)
+    flow_results: Optional[Dict[int, Any]] = field(
+        default=None, compare=False, repr=False,
+        metadata={"serialize": False},
+    )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "flow_results": (self.flow_results if self.flow_results is not None
+                             else dict(self.flow_summaries)),
+            "gains": dict(self.gains),
+            "delay_gain": self.delay_gain,
+            "energy_gain": self.energy_gain,
+            "area_gain_scheme1": self.area_gain_scheme1,
+            "area_gain_scheme2": self.area_gain_scheme2,
+            "paper": dict(self.paper),
+        }
+
+    def payload_for_json(self) -> Dict[str, Any]:
+        payload = self.to_dict()
+        payload["flow_results"] = dict(self.flow_summaries)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload, provenance):
+        from ..flow.designkit import FlowResult, FlowSummary
+
+        raw = payload["flow_results"]
+        live: Optional[Dict[int, Any]] = None
+        summaries: Dict[int, Any] = {}
+        for scheme, entry in dict(raw).items():
+            if isinstance(entry, FlowResult):
+                live = live or {}
+                live[scheme] = entry
+                summaries[scheme] = entry.summarize()
+            elif isinstance(entry, FlowSummary):
+                summaries[scheme] = entry
+            else:
+                raise StudyError(
+                    f"flow_results[{scheme}] is neither FlowResult nor "
+                    f"FlowSummary: {type(entry).__name__}"
+                )
+        return cls(
+            provenance=provenance,
+            flow_summaries=summaries,
+            gains=dict(payload["gains"]),
+            delay_gain=payload["delay_gain"],
+            energy_gain=payload["energy_gain"],
+            area_gain_scheme1=payload["area_gain_scheme1"],
+            area_gain_scheme2=payload["area_gain_scheme2"],
+            paper=dict(payload["paper"]),
+            flow_results=live,
+        )
+
+    def __str__(self) -> str:
+        return render_fulladder(self)
+
+
+@dataclass(frozen=True)
+class EdpSummaryResult(StudyResult):
+    """The headline EDP / EDAP summary (abstract + conclusions)."""
+
+    study_name: ClassVar[str] = "edp"
+
+    delay_gain_optimal: float = 0.0
+    energy_gain_optimal: float = 0.0
+    area_gain: float = 0.0
+    edp_gain_optimal: float = 0.0
+    edp_gain_single_cnt: float = 0.0
+    edp_gain_best: float = 0.0
+    edap_gain_optimal: float = 0.0
+    paper_edp_gain: float = 0.0
+    paper_edap_gain: float = 0.0
+    paper_area_saving: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "delay_gain_optimal": self.delay_gain_optimal,
+            "energy_gain_optimal": self.energy_gain_optimal,
+            "area_gain": self.area_gain,
+            "edp_gain_optimal": self.edp_gain_optimal,
+            "edp_gain_single_cnt": self.edp_gain_single_cnt,
+            "edp_gain_best": self.edp_gain_best,
+            "edap_gain_optimal": self.edap_gain_optimal,
+            "paper_edp_gain": self.paper_edp_gain,
+            "paper_edap_gain": self.paper_edap_gain,
+            "paper_area_saving": self.paper_area_saving,
+        }
+
+    @classmethod
+    def from_payload(cls, payload, provenance):
+        return cls(provenance=provenance, **payload)
+
+    def __str__(self) -> str:
+        return "\n".join([
+            f"delay gain (optimal pitch) : {self.delay_gain_optimal:.2f}x",
+            f"energy gain (optimal pitch): {self.energy_gain_optimal:.2f}x",
+            f"area gain                  : {self.area_gain:.2f}x",
+            f"EDP gain                   : {self.edp_gain_optimal:.2f}x "
+            f"(best {self.edp_gain_best:.2f}x, paper >{self.paper_edp_gain:g}x)",
+            f"EDAP gain                  : {self.edap_gain_optimal:.2f}x "
+            f"(paper ~{self.paper_edap_gain:g}x)",
+        ])

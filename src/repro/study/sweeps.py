@@ -1,0 +1,331 @@
+"""The unified sweep driver: one :class:`SweepSpec` over both engines.
+
+``run_sweep_study`` accepts the same axis specification regardless of
+which vectorized engine evaluates it:
+
+* ``engine="immunity"`` — the Monte Carlo immunity engine.  Axes:
+  ``gate``, ``technique``, ``cnts_per_trial``, ``max_angle_deg``,
+  ``metallic_fraction``.  Grid expansion delegates to
+  :func:`repro.immunity.montecarlo.sweep`, so the Figure 2 seed contract
+  (techniques share defect populations, distinct parameter combinations
+  get independent child sequences) holds bit-for-bit; zip expansion runs
+  the same contract corner by corner via :meth:`SweepSpec.seeds`.
+* ``engine="transient"`` — the batch transient/characterisation engine.
+  Axes: ``cell``, ``drive``, ``load_f``, ``slew_s``, ``vdd``,
+  ``pitch_nm``.  Grid expansion lowers the whole grid into
+  :func:`repro.cells.characterize.characterize_sweep` (one vectorized
+  batch per cell); zip expansion characterises each lock-step corner.
+
+Axes not present in the spec take the engine's fixed defaults, which can
+be overridden by keyword (``run_sweep_study(spec, engine="immunity",
+gate="NAND3")``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import StudyError
+from .results import Provenance, StudyResult
+from .spec import SweepSpec
+
+#: Axes each engine understands, with their fixed-parameter defaults.
+IMMUNITY_AXES: Dict[str, object] = {
+    "gate": "NAND2",
+    "technique": "compact",
+    "cnts_per_trial": 4,
+    "max_angle_deg": 15.0,
+    "metallic_fraction": 0.0,
+}
+TRANSIENT_AXES: Dict[str, object] = {
+    "cell": "INV",
+    "drive": 1.0,
+    "load_f": 1.0e-15,
+    "slew_s": 5.0e-12,
+    "vdd": 1.0,
+    "pitch_nm": 5.0,
+}
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One evaluated sweep corner: its bindings plus measured metrics."""
+
+    corner: Any                     # Corner
+    metrics: Dict[str, Any]
+
+    def __getitem__(self, key: str) -> Any:
+        return self.metrics[key]
+
+
+@dataclass(frozen=True)
+class SweepStudyResult(StudyResult):
+    """The typed result of :func:`run_sweep_study`."""
+
+    study_name: ClassVar[str] = "sweep"
+
+    spec: Optional[SweepSpec] = None
+    engine: str = ""
+    records: Tuple[SweepRecord, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec,
+            "engine": self.engine,
+            "records": list(self.records),
+        }
+
+    @classmethod
+    def from_payload(cls, payload, provenance):
+        return cls(
+            provenance=provenance,
+            spec=payload["spec"],
+            engine=payload["engine"],
+            records=tuple(payload["records"]),
+        )
+
+    def metric(self, name: str) -> List[Any]:
+        """One metric across all records, in corner order."""
+        return [record.metrics[name] for record in self.records]
+
+    def __str__(self) -> str:
+        if not self.records:
+            return f"empty {self.engine} sweep"
+        # Only scalar metrics make table columns; rich objects (e.g. the
+        # full MonteCarloResult) stay reachable via record.metrics.
+        metric_names = [
+            name for name, value in self.records[0].metrics.items()
+            if isinstance(value, (bool, int, float, str))
+        ]
+        width = max(len("corner"),
+                    *(len(record.corner.label()) for record in self.records))
+        header = f"{'corner':<{width}} " + " ".join(
+            f"{name:>16}" for name in metric_names
+        )
+        lines = [header, "-" * len(header)]
+        for record in self.records:
+            cells = []
+            for name in metric_names:
+                value = record.metrics[name]
+                if isinstance(value, bool):
+                    cells.append(f"{str(value):>16}")
+                elif isinstance(value, float):
+                    cells.append(f"{value:>16.6g}")
+                else:
+                    cells.append(f"{value!s:>16}")
+            lines.append(f"{record.corner.label():<{width}} " + " ".join(cells))
+        return "\n".join(lines)
+
+
+def _validate_axes(spec: SweepSpec, allowed: Mapping[str, object],
+                   engine: str) -> None:
+    unknown = [name for name in spec.axis_names if name not in allowed]
+    if unknown:
+        raise StudyError(
+            f"Engine {engine!r} does not understand axes {unknown}; "
+            f"supported: {sorted(allowed)}"
+        )
+
+
+def _fixed_values(defaults: Mapping[str, object], spec: SweepSpec,
+                  overrides: Mapping[str, object], engine: str) -> Dict[str, object]:
+    unknown = [name for name in overrides if name not in defaults]
+    if unknown:
+        raise StudyError(
+            f"Engine {engine!r} does not understand fixed parameters "
+            f"{sorted(unknown)}; supported: {sorted(defaults)}"
+        )
+    fixed = dict(defaults)
+    fixed.update(overrides)
+    swept = set(spec.axis_names)
+    return {name: value for name, value in fixed.items() if name not in swept}
+
+
+def run_sweep_study(spec: SweepSpec, engine: str = "immunity",
+                    trials: int = 200, seed=2009,
+                    **fixed) -> SweepStudyResult:
+    """Evaluate a :class:`SweepSpec` on one of the vectorized engines."""
+    if not isinstance(spec, SweepSpec):
+        raise StudyError(f"run_sweep_study needs a SweepSpec, got {type(spec).__name__}")
+    if engine == "immunity":
+        records = _run_immunity(spec, trials=trials, seed=seed, fixed=fixed)
+    elif engine == "transient":
+        records = _run_transient(spec, fixed=fixed)
+    else:
+        raise StudyError(
+            f"Unknown sweep engine {engine!r}; use 'immunity' or 'transient'"
+        )
+    return SweepStudyResult(
+        provenance=Provenance.capture(
+            "sweep", engine=engine, seed=seed,
+            params={"axes": {axis.name: axis.values for axis in spec.axes},
+                    "mode": spec.mode, "trials": trials, "seed": seed,
+                    **fixed},
+        ),
+        spec=spec,
+        engine=engine,
+        records=tuple(records),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Immunity engine
+# ---------------------------------------------------------------------------
+
+def _immunity_metrics(result) -> Dict[str, Any]:
+    return {
+        "failure_rate": result.failure_rate,
+        "failures": result.failures,
+        "trials": result.trials,
+        "immune": result.immune,
+        "result": result,
+    }
+
+
+def _run_immunity(spec: SweepSpec, trials: int, seed,
+                  fixed: Mapping[str, object]) -> List[SweepRecord]:
+    from ..immunity.montecarlo import sweep as immunity_sweep
+
+    _validate_axes(spec, IMMUNITY_AXES, "immunity")
+    constants = _fixed_values(IMMUNITY_AXES, spec, fixed, "immunity")
+
+    def value_of(corner, name):
+        return corner.get(name, constants.get(name))
+
+    if spec.mode == "grid":
+        # Lower the grid straight onto the canonical Figure 2 sweep so its
+        # seed contract holds bit-for-bit, then re-order the points back
+        # into this spec's corner order.
+        def axis_values(name) -> Sequence[object]:
+            if name in spec.axis_names:
+                return spec.axis(name).values
+            return (constants[name],)
+
+        points = immunity_sweep(
+            gates=tuple(axis_values("gate")),
+            techniques=tuple(axis_values("technique")),
+            cnts_per_trial=tuple(axis_values("cnts_per_trial")),
+            max_angle_deg=tuple(axis_values("max_angle_deg")),
+            metallic_fraction=tuple(axis_values("metallic_fraction")),
+            trials=trials,
+            seed=seed,
+        )
+        by_key = {
+            (point.gate, point.technique, point.cnts_per_trial,
+             point.max_angle_deg, point.metallic_fraction): point
+            for point in points
+        }
+        records = []
+        for corner in spec.corners():
+            key = (value_of(corner, "gate"), value_of(corner, "technique"),
+                   value_of(corner, "cnts_per_trial"),
+                   value_of(corner, "max_angle_deg"),
+                   value_of(corner, "metallic_fraction"))
+            records.append(
+                SweepRecord(corner=corner,
+                            metrics=_immunity_metrics(by_key[key].result))
+            )
+        return records
+
+    # zip mode: evaluate corner by corner; corners differing only in
+    # technique share one child sequence (the Figure 2 contract).
+    from ..immunity.montecarlo import run_immunity_trials
+    from ..core.standard_cell import assemble_cell
+    from ..logic.functions import standard_gate
+
+    seeds = spec.seeds(seed, share_axes=("technique",))
+    records = []
+    for corner, child in zip(spec.corners(), seeds):
+        cell = assemble_cell(
+            standard_gate(value_of(corner, "gate")),
+            technique=value_of(corner, "technique"),
+        )
+        result = run_immunity_trials(
+            cell,
+            trials=trials,
+            cnts_per_trial=value_of(corner, "cnts_per_trial"),
+            max_angle_deg=value_of(corner, "max_angle_deg"),
+            metallic_fraction=value_of(corner, "metallic_fraction"),
+            seed=child,
+        )
+        records.append(SweepRecord(corner=corner,
+                                   metrics=_immunity_metrics(result)))
+    return records
+
+
+# ---------------------------------------------------------------------------
+# Transient / characterisation engine
+# ---------------------------------------------------------------------------
+
+def _transient_metrics(point) -> Dict[str, Any]:
+    return {
+        "delay_rise_s": point.delay_rise_s,
+        "delay_fall_s": point.delay_fall_s,
+        "worst_delay_s": point.worst_delay_s,
+        "energy_per_cycle_j": point.energy_per_cycle_j,
+        "vdd": point.vdd,
+    }
+
+
+def _corner_name(vdd: float, pitch_nm: float) -> str:
+    return f"v{vdd:g}_p{pitch_nm:g}"
+
+
+def _run_transient(spec: SweepSpec,
+                   fixed: Mapping[str, object]) -> List[SweepRecord]:
+    from ..cells.characterize import characterize_sweep, cnfet_technology
+
+    _validate_axes(spec, TRANSIENT_AXES, "transient")
+    constants = _fixed_values(TRANSIENT_AXES, spec, fixed, "transient")
+
+    def value_of(corner, name):
+        return corner.get(name, constants.get(name))
+
+    def axis_values(name) -> Tuple[object, ...]:
+        if name in spec.axis_names:
+            return tuple(spec.axis(name).values)
+        return (constants[name],)
+
+    if spec.mode == "grid":
+        corners = {
+            _corner_name(vdd, pitch): cnfet_technology(vdd=vdd, pitch_nm=pitch)
+            for vdd in axis_values("vdd")
+            for pitch in axis_values("pitch_nm")
+        }
+        sweep = characterize_sweep(
+            gate_names=tuple(axis_values("cell")),
+            drive_strengths=tuple(axis_values("drive")),
+            load_capacitances_f=tuple(axis_values("load_f")),
+            input_slews_s=tuple(axis_values("slew_s")),
+            corners=corners,
+        )
+        records = []
+        for corner in spec.corners():
+            point = sweep.point(
+                str(value_of(corner, "cell")),
+                value_of(corner, "drive"),
+                value_of(corner, "load_f"),
+                value_of(corner, "slew_s"),
+                _corner_name(value_of(corner, "vdd"),
+                             value_of(corner, "pitch_nm")),
+            )
+            records.append(SweepRecord(corner=corner,
+                                       metrics=_transient_metrics(point)))
+        return records
+
+    records = []
+    for corner in spec.corners():
+        vdd = value_of(corner, "vdd")
+        pitch = value_of(corner, "pitch_nm")
+        name = _corner_name(vdd, pitch)
+        sweep = characterize_sweep(
+            gate_names=(str(value_of(corner, "cell")),),
+            drive_strengths=(value_of(corner, "drive"),),
+            load_capacitances_f=(value_of(corner, "load_f"),),
+            input_slews_s=(value_of(corner, "slew_s"),),
+            corners={name: cnfet_technology(vdd=vdd, pitch_nm=pitch)},
+        )
+        records.append(SweepRecord(corner=corner,
+                                   metrics=_transient_metrics(sweep.points[0])))
+    return records

@@ -1,0 +1,181 @@
+"""The ``python -m repro`` CLI: list/run/sweep, JSON envelope, schema."""
+
+import io
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.experiments import run_fig3_nand3
+from repro.study import StudyResult, decode
+from repro.study.cli import main
+from repro.study.results import RESULT_SCHEMA
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCHEMA_PATH = os.path.join(REPO_ROOT, "docs", "repro_result.schema.json")
+VALIDATOR_PATH = os.path.join(REPO_ROOT, "tools", "validate_repro_json.py")
+
+
+def run_cli(*argv):
+    stdout, stderr = io.StringIO(), io.StringIO()
+    code = main(list(argv), stdout=stdout, stderr=stderr)
+    return code, stdout.getvalue(), stderr.getvalue()
+
+
+class TestListCommand:
+    def test_lists_every_figure(self):
+        code, out, _ = run_cli("list")
+        assert code == 0
+        for name in ("table1", "fig2", "fig3", "fig4", "fig7", "fig8", "edp"):
+            assert name in out
+
+    def test_json_listing(self):
+        code, out, _ = run_cli("list", "--json")
+        assert code == 0
+        studies = json.loads(out)
+        assert {"name", "figure", "description", "aliases"} <= set(studies[0])
+
+
+class TestRunCommand:
+    def test_text_output_default(self):
+        code, out, _ = run_cli("run", "fig3")
+        assert code == 0
+        assert "NAND3 compaction" in out
+
+    def test_json_to_stdout_roundtrips(self):
+        code, out, _ = run_cli("run", "fig3", "--json", "-")
+        assert code == 0
+        document = json.loads(out)
+        assert document["schema"] == RESULT_SCHEMA
+        assert document["study"] == "fig3"
+        restored = StudyResult.from_json_dict(document)
+        assert restored.to_dict() == run_fig3_nand3().to_dict()
+
+    def test_json_payload_equals_legacy_dict(self):
+        """Acceptance: the CLI emits the exact pre-redesign payload."""
+        code, out, _ = run_cli("run", "fig3", "--json", "-")
+        assert code == 0
+        payload = decode(json.loads(out)["payload"])
+        assert payload == run_fig3_nand3().to_dict()
+
+    def test_json_to_file(self, tmp_path):
+        target = tmp_path / "fig4.json"
+        code, out, _ = run_cli("run", "fig4", "--json", str(target))
+        assert code == 0
+        document = json.loads(target.read_text())
+        assert document["study"] == "fig4"
+
+    def test_seed_and_trials_forwarded(self):
+        code, out, _ = run_cli("run", "fig2", "--seed", "7", "--trials", "20",
+                               "--json", "-")
+        assert code == 0
+        document = json.loads(out)
+        assert document["provenance"]["seed"] == 7
+        assert document["provenance"]["params"]["trials"] == 20
+
+    def test_param_overrides(self):
+        code, out, _ = run_cli("run", "fig3", "--param", "unit_width=6",
+                               "--json", "-")
+        assert code == 0
+        assert json.loads(out)["provenance"]["params"]["unit_width"] == 6
+
+    def test_alias_resolution(self):
+        code, out, _ = run_cli("run", "nand3")
+        assert code == 0
+        assert "NAND3" in out
+
+    def test_trailing_comma_makes_single_element_sequence(self):
+        code, out, _ = run_cli("run", "fo4_transient",
+                               "--param", "tube_counts=4,", "--json", "-")
+        assert code == 0
+        document = json.loads(out)
+        assert document["provenance"]["params"]["tube_counts"] == {
+            "__tuple__": [4]
+        }
+        restored = StudyResult.from_json_dict(document)
+        assert restored.provenance.params["tube_counts"] == (4,)
+        assert len(restored.sweep) == 1
+        assert restored.sweep[0].num_tubes == 4
+
+    def test_unknown_study_fails_cleanly(self):
+        code, _, err = run_cli("run", "not_a_figure")
+        assert code == 2
+        assert "Unknown study" in err
+
+    def test_seed_rejected_for_unseeded_study(self):
+        code, _, err = run_cli("run", "fig3", "--seed", "1")
+        assert code == 2
+        assert "takes no seed" in err
+
+
+class TestSweepCommand:
+    def test_immunity_sweep_json(self):
+        code, out, _ = run_cli(
+            "sweep", "--engine", "immunity",
+            "--axis", "cnts_per_trial=2,4",
+            "--axis", "technique=vulnerable,compact",
+            "--trials", "20", "--seed", "7", "--json", "-",
+        )
+        assert code == 0
+        document = json.loads(out)
+        assert document["study"] == "sweep"
+        restored = StudyResult.from_json_dict(document)
+        assert len(restored.records) == 4
+        assert restored.engine == "immunity"
+
+    def test_transient_sweep_with_fixed_values(self):
+        code, out, _ = run_cli(
+            "sweep", "--engine", "transient",
+            "--axis", "vdd=0.9,1.0", "--set", "cell=INV", "--json", "-",
+        )
+        assert code == 0
+        restored = StudyResult.from_json_dict(json.loads(out))
+        assert len(restored.records) == 2
+        assert all(r.metrics["worst_delay_s"] > 0 for r in restored.records)
+
+    def test_bad_axis_fails_cleanly(self):
+        code, _, err = run_cli("sweep", "--axis", "nonsense=1,2")
+        assert code == 2
+        assert "does not understand axes" in err
+
+    def test_transient_sweep_rejects_seed_and_trials(self):
+        code, _, err = run_cli(
+            "sweep", "--engine", "transient", "--axis", "vdd=0.9,1.0",
+            "--seed", "42",
+        )
+        assert code == 2
+        assert "takes no --seed/--trials" in err
+
+
+class TestSchemaValidation:
+    @pytest.mark.parametrize("study", ["fig3", "table1"])
+    def test_cli_output_validates_against_checked_in_schema(self, study):
+        _, out, _ = run_cli("run", study, "--json", "-")
+        process = subprocess.run(
+            [sys.executable, VALIDATOR_PATH, SCHEMA_PATH, "-"],
+            input=out, capture_output=True, text=True,
+        )
+        assert process.returncode == 0, process.stderr
+
+    def test_validator_rejects_broken_documents(self):
+        process = subprocess.run(
+            [sys.executable, VALIDATOR_PATH, SCHEMA_PATH, "-"],
+            input=json.dumps({"schema": "wrong", "study": "fig3"}),
+            capture_output=True, text=True,
+        )
+        assert process.returncode == 1
+        assert "invalid" in process.stderr
+
+    def test_module_entry_point(self):
+        """`python -m repro list` works headlessly."""
+        env = dict(os.environ)
+        src = os.path.join(REPO_ROOT, "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+        )
+        assert process.returncode == 0, process.stderr
+        assert "fig7" in process.stdout

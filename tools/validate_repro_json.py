@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Validate a `repro run ... --json` document against a JSON schema.
+
+A dependency-free validator for the subset of JSON Schema draft-07 that
+``docs/repro_result.schema.json`` uses — ``type`` (including union types),
+``const``, ``required``, ``properties``, ``minLength`` and ``items`` — so
+CI can check CLI output without installing ``jsonschema``.
+
+Usage::
+
+    python tools/validate_repro_json.py docs/repro_result.schema.json result.json
+    python -m repro run fig3 --json - | \
+        python tools/validate_repro_json.py docs/repro_result.schema.json -
+
+Exit status 0 when the document validates, 1 with one line per violation
+otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, List
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _check_type(value: Any, expected: Any, path: str, errors: List[str]) -> None:
+    names = expected if isinstance(expected, list) else [expected]
+    for name in names:
+        python_type = _TYPES.get(name)
+        if python_type is None:
+            errors.append(f"{path}: schema uses unsupported type {name!r}")
+            return
+        if isinstance(value, python_type):
+            # bool is an int subclass; don't let booleans satisfy numbers.
+            if name in ("integer", "number") and isinstance(value, bool):
+                continue
+            return
+    errors.append(
+        f"{path}: expected type {expected}, got {type(value).__name__}"
+    )
+
+
+def validate(value: Any, schema: Any, path: str = "$",
+             errors: List[str] | None = None) -> List[str]:
+    """Collect schema violations of ``value``; empty list means valid."""
+    errors = [] if errors is None else errors
+    if not isinstance(schema, dict):
+        errors.append(f"{path}: schema node must be an object")
+        return errors
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: expected {schema['const']!r}, got {value!r}")
+    if "type" in schema:
+        _check_type(value, schema["type"], path, errors)
+    if "minLength" in schema and isinstance(value, str):
+        if len(value) < schema["minLength"]:
+            errors.append(
+                f"{path}: string shorter than minLength {schema['minLength']}"
+            )
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, subschema in schema.get("properties", {}).items():
+            if key in value:
+                validate(value[key], subschema, f"{path}.{key}", errors)
+    if isinstance(value, list) and "items" in schema:
+        for index, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{index}]", errors)
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 3:
+        sys.stderr.write(
+            "usage: validate_repro_json.py SCHEMA.json DOCUMENT.json\n"
+            "       (DOCUMENT '-' reads from stdin)\n"
+        )
+        return 2
+    with open(argv[1], "r", encoding="utf-8") as stream:
+        schema = json.load(stream)
+    try:
+        if argv[2] == "-":
+            document = json.load(sys.stdin)
+        else:
+            with open(argv[2], "r", encoding="utf-8") as stream:
+                document = json.load(stream)
+    except json.JSONDecodeError as error:
+        sys.stderr.write(f"invalid: document is not JSON ({error})\n")
+        return 1
+    errors = validate(document, schema)
+    if errors:
+        for error in errors:
+            sys.stderr.write(f"invalid: {error}\n")
+        return 1
+    study = document.get("study", "?") if isinstance(document, dict) else "?"
+    sys.stderr.write(f"valid {study} result\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
