@@ -18,7 +18,12 @@ The package is organised as:
 
 * :mod:`repro.study` — the typed Study layer: one sweep abstraction over
   both engines, frozen serializable results with provenance, the study
-  registry and the ``python -m repro`` CLI.
+  registry and the ``python -m repro`` CLI;
+
+* :mod:`repro.runtime` — the runtime layer: the deterministic parallel
+  scheduler (``jobs=``/``workers=`` everywhere lower onto one pool), the
+  content-addressed on-disk result cache, and the ``repro batch``
+  manifest runner with cross-study dedup.
 
 Quickstart::
 
@@ -39,6 +44,16 @@ Study API::
     fig7.to_json("fig7.json")           # lossless round-trip
     spec = SweepSpec.parse(["cnts_per_trial=2,4,8"])
     sweep = run_sweep_study(spec, engine="immunity", trials=500)
+
+Runtime layer::
+
+    from repro import ResultCache, run_sweep_study, run_manifest
+
+    cache = ResultCache(".repro-cache")
+    fast = run_sweep_study(spec, trials=500, jobs=4, cache=cache)  # sharded
+    warm = run_sweep_study(spec, trials=500, jobs=4, cache=cache)  # cache hit
+    assert warm == fast and warm.provenance.cache == "hit"
+    batch = run_manifest("manifest.json", cache=cache, jobs=4)
 """
 
 from .analysis import run_all, run_fig7_fo4, run_fulladder_case_study, run_table1
@@ -58,6 +73,7 @@ from .errors import ReproError, StudyError
 from .flow import CNFETDesignKit, full_adder_netlist, parse_structural_verilog
 from .immunity import compare_techniques, run_immunity_trials, sweep
 from .logic import GateNetworks, parse_expression, standard_gate
+from .runtime import ResultCache, run_manifest
 from .study import (
     Corner,
     Provenance,
@@ -79,6 +95,8 @@ __all__ = [
     # the Study layer
     "run_study", "list_studies", "get_study", "run_sweep_study",
     "StudyResult", "Provenance", "SweepSpec", "Corner", "parse_axis",
+    # the runtime layer
+    "ResultCache", "run_manifest",
     # cells / circuit
     "StandardCellLibrary", "build_library",
     "cmos_inverter", "cnfet_inverter", "compare_fo4", "fo4_metrics",

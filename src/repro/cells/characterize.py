@@ -393,6 +393,112 @@ def _measure_case(result: TransientResult, pin: str, vdd: float) -> Tuple[float,
     return out_rise - in_fall, out_fall - in_rise, result.supply_energy
 
 
+def _plan_cell_cases(
+    gate_name: str,
+    drive_strengths: Sequence[float],
+    load_capacitances_f: Sequence[float],
+    input_slews_s: Sequence[float],
+    corners: Mapping[str, TechnologyConfig],
+    unit_width: float,
+    switched_pin: Optional[str],
+):
+    """Lower one cell's full (drive × load × slew × corner) grid into
+    simulation cases sharing one deterministic time base.
+
+    The time base (pulse timing, stop time, step) is derived from the
+    analytical delay estimates of the **whole** grid, so any caller that
+    plans the same grid — even to integrate only a subset of its cases —
+    lands on bit-identical waveforms.  That invariant is what lets the
+    runtime scheduler shard a characterisation sweep across workers
+    (:func:`characterize_cases`) without perturbing results.
+
+    Returns ``(gate, pin, labels, cases, stop_time, time_step)`` with
+    ``labels``/``cases`` flat in ``itertools.product`` order over
+    ``(drive, load, slew, corner)`` — last axis fastest.
+    """
+    from ..logic.functions import standard_gate
+
+    gate = standard_gate(gate_name)
+    pin = switched_pin or gate.inputs[0]
+    sides = sensitizing_assignment(gate, pin)
+
+    staged: List[Tuple[TransistorNetlist, float, float]] = []
+    estimates: List[float] = []
+    labels: List[Tuple[float, float, float, str, float]] = []
+    for drive, load, slew, (corner_name, tech) in itertools.product(
+        drive_strengths, load_capacitances_f, input_slews_s, corners.items()
+    ):
+        netlist = gate_transistor_netlist(
+            gate, tech, unit_width=unit_width, drive_strength=drive,
+            load_capacitance=load,
+        )
+        model = characterize_gate(
+            gate, tech, unit_width=unit_width, drive_strength=drive
+        )
+        estimates.append(max(model.stage_delay(load), 1.0e-13))
+        labels.append((drive, load, slew, corner_name, tech.vdd))
+        staged.append((netlist, tech.vdd, slew))
+
+    # Shared time base: the pulse must be slow enough for the laziest
+    # corner and sampled finely enough for the snappiest one.
+    slowest = max(estimates)
+    max_slew = max(input_slews_s)
+    delay = max(6.0 * slowest, 2.0 * max_slew)
+    width = max(10.0 * slowest, 4.0 * max_slew)
+    stop = delay + 2.0 * max_slew + width + max(10.0 * slowest, 2.0 * max_slew)
+    time_step = max(min(min(estimates) / 20.0, min(input_slews_s) / 4.0),
+                    stop / 8000.0, 1.0e-14)
+
+    built: List[SimulationCase] = []
+    for netlist, vdd, slew in staged:
+        sources = {pin: pulse_source(vdd, delay=delay, rise_time=slew,
+                                     width=width)}
+        for side, value in sides.items():
+            sources[side] = constant_source(vdd if value else 0.0)
+        initial = {"out": vdd}
+        for net in netlist.nets():
+            if net.startswith("pu_"):
+                initial[net] = vdd
+            elif net.startswith("pd_"):
+                initial[net] = 0.0
+        built.append(SimulationCase(netlist, sources, initial))
+
+    return gate, pin, labels, built, stop, time_step
+
+
+def _measure_cases(gate, pin, labels, cases, stop, time_step,
+                   engine: str) -> List[CellSweepPoint]:
+    """Integrate planned cases as one batch and reduce the waveforms."""
+    if engine == "batch":
+        results = run_transient_batch(cases, stop_time=stop,
+                                      time_step=time_step)
+    else:
+        results = [
+            TransientSimulator(case.netlist, case.sources,
+                               case.initial_conditions)
+            .run(stop, time_step, engine="loop")
+            for case in cases
+        ]
+
+    points: List[CellSweepPoint] = []
+    for (drive, load, slew, corner_name, vdd), result in zip(labels, results):
+        rise, fall, energy = _measure_case(result, pin, vdd)
+        points.append(
+            CellSweepPoint(
+                cell=gate.name,
+                drive_strength=drive,
+                load_capacitance_f=load,
+                input_slew_s=slew,
+                corner=corner_name,
+                vdd=vdd,
+                delay_rise_s=rise,
+                delay_fall_s=fall,
+                energy_per_cycle_j=energy,
+            )
+        )
+    return points
+
+
 def characterize_sweep(
     gate_names: Sequence[str] = ("INV", "NAND2"),
     drive_strengths: Sequence[float] = (1.0, 2.0),
@@ -425,77 +531,13 @@ def characterize_sweep(
 
     points: List[CellSweepPoint] = []
     for gate_name in gate_names:
-        gate = standard_gate(gate_name)
-        pin = switched_pin or gate.inputs[0]
-        sides = sensitizing_assignment(gate, pin)
-
-        staged: List[Tuple[TransistorNetlist, float, float]] = []
-        estimates: List[float] = []
-        labels: List[Tuple[float, float, float, str, float]] = []
-        for drive, load, slew, (corner_name, tech) in itertools.product(
-            drive_strengths, load_capacitances_f, input_slews_s, corners.items()
-        ):
-            netlist = gate_transistor_netlist(
-                gate, tech, unit_width=unit_width, drive_strength=drive,
-                load_capacitance=load,
-            )
-            model = characterize_gate(
-                gate, tech, unit_width=unit_width, drive_strength=drive
-            )
-            estimates.append(max(model.stage_delay(load), 1.0e-13))
-            labels.append((drive, load, slew, corner_name, tech.vdd))
-            staged.append((netlist, tech.vdd, slew))
-
-        # Shared time base: the pulse must be slow enough for the laziest
-        # corner and sampled finely enough for the snappiest one.
-        slowest = max(estimates)
-        max_slew = max(input_slews_s)
-        delay = max(6.0 * slowest, 2.0 * max_slew)
-        width = max(10.0 * slowest, 4.0 * max_slew)
-        stop = delay + 2.0 * max_slew + width + max(10.0 * slowest, 2.0 * max_slew)
-        time_step = max(min(min(estimates) / 20.0, min(input_slews_s) / 4.0),
-                        stop / 8000.0, 1.0e-14)
-
-        built: List[SimulationCase] = []
-        for netlist, vdd, slew in staged:
-            sources = {pin: pulse_source(vdd, delay=delay, rise_time=slew,
-                                         width=width)}
-            for side, value in sides.items():
-                sources[side] = constant_source(vdd if value else 0.0)
-            initial = {"out": vdd}
-            for net in netlist.nets():
-                if net.startswith("pu_"):
-                    initial[net] = vdd
-                elif net.startswith("pd_"):
-                    initial[net] = 0.0
-            built.append(SimulationCase(netlist, sources, initial))
-
-        if engine == "batch":
-            results = run_transient_batch(built, stop_time=stop,
-                                          time_step=time_step)
-        else:
-            results = [
-                TransientSimulator(case.netlist, case.sources,
-                                   case.initial_conditions)
-                .run(stop, time_step, engine="loop")
-                for case in built
-            ]
-
-        for (drive, load, slew, corner_name, vdd), result in zip(labels, results):
-            rise, fall, energy = _measure_case(result, pin, vdd)
-            points.append(
-                CellSweepPoint(
-                    cell=gate.name,
-                    drive_strength=drive,
-                    load_capacitance_f=load,
-                    input_slew_s=slew,
-                    corner=corner_name,
-                    vdd=vdd,
-                    delay_rise_s=rise,
-                    delay_fall_s=fall,
-                    energy_per_cycle_j=energy,
-                )
-            )
+        gate, pin, labels, built, stop, time_step = _plan_cell_cases(
+            gate_name, drive_strengths, load_capacitances_f, input_slews_s,
+            corners, unit_width, switched_pin,
+        )
+        points.extend(
+            _measure_cases(gate, pin, labels, built, stop, time_step, engine)
+        )
 
     return CharacterizationSweep(
         cells=tuple(standard_gate(name).name for name in gate_names),
@@ -505,6 +547,52 @@ def characterize_sweep(
         corners=tuple(corners),
         points=points,
     )
+
+
+def characterize_cases(
+    gate_name: str,
+    case_indices: Sequence[int],
+    drive_strengths: Sequence[float] = (1.0, 2.0),
+    load_capacitances_f: Sequence[float] = MEASURED_LOADS_F,
+    input_slews_s: Sequence[float] = (MEASURED_SLEW_S,),
+    corners: Optional[Mapping[str, TechnologyConfig]] = None,
+    unit_width: float = 4.0,
+    switched_pin: Optional[str] = None,
+    engine: str = "batch",
+) -> List[CellSweepPoint]:
+    """Evaluate a subset of one cell's characterisation grid.
+
+    ``case_indices`` are flat ``itertools.product`` indices over the
+    ``(drive, load, slew, corner)`` grid — the same order as the per-cell
+    block of :meth:`CharacterizationSweep.points`.  The **whole** grid is
+    planned (cheap, analytical) so the shared time base matches the full
+    batch exactly, then only the selected cases are integrated; the
+    returned points are bit-identical to the corresponding points of
+    :func:`characterize_sweep`.  This is the primitive the runtime
+    scheduler shards transient sweeps on.
+    """
+    corners = dict(corners) if corners else {"nominal": cnfet_technology()}
+    if not (drive_strengths and load_capacitances_f and input_slews_s
+            and corners):
+        raise CharacterizationError("characterize_cases needs non-empty axes")
+    if engine not in ("batch", "loop"):
+        raise CharacterizationError(f"Unknown engine {engine!r}")
+
+    gate, pin, labels, built, stop, time_step = _plan_cell_cases(
+        gate_name, drive_strengths, load_capacitances_f, input_slews_s,
+        corners, unit_width, switched_pin,
+    )
+    total = len(built)
+    for index in case_indices:
+        if not 0 <= index < total:
+            raise CharacterizationError(
+                f"Case index {index} outside the {total}-case grid of "
+                f"{gate.name!r}"
+            )
+    selected_labels = [labels[index] for index in case_indices]
+    selected_cases = [built[index] for index in case_indices]
+    return _measure_cases(gate, pin, selected_labels, selected_cases,
+                          stop, time_step, engine)
 
 
 def format_characterization(sweep: CharacterizationSweep) -> str:

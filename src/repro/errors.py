@@ -113,5 +113,15 @@ class StudyError(ReproError):
     unserializable results, invalid CLI requests)."""
 
 
+class RuntimeLayerError(ReproError):
+    """Raised by the runtime layer (scheduler misconfiguration, malformed
+    manifests)."""
+
+
+class CacheError(RuntimeLayerError):
+    """Raised by the content-addressed result cache (unwritable store,
+    malformed entries the caller asked to treat as fatal)."""
+
+
 class PlacementError(FlowError):
     """Raised when placement constraints cannot be satisfied."""

@@ -37,7 +37,6 @@ distinct parameter combinations get independent child sequences.
 from __future__ import annotations
 
 import itertools
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -360,9 +359,10 @@ def sweep(
     comparisons see the same defect populations while distinct combinations
     stay statistically independent.
 
-    ``workers`` > 1 distributes points over a ``concurrent.futures``
-    process pool; results are identical to the serial run (each point is
-    seeded independently of scheduling order).
+    ``workers`` > 1 distributes points over the runtime scheduler's
+    process pool (:func:`repro.runtime.scheduler.run_tasks` — the one
+    pool implementation in the repository); results are identical to the
+    serial run (each point is seeded independently of scheduling order).
     """
     combos = list(itertools.product(
         gates, cnts_per_trial, max_angle_deg, metallic_fraction
@@ -397,11 +397,11 @@ def sweep(
                 chunk_size=chunk_size,
             ))
 
-    if workers is not None and workers > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(_run_sweep_task, tasks))
-    else:
-        results = [_run_sweep_task(task) for task in tasks]
+    # Imported lazily: repro.runtime sits above the study layer, which
+    # itself imports this module for the seed contract.
+    from ..runtime.scheduler import run_tasks
+
+    results = run_tasks(_run_sweep_task, tasks, jobs=workers)
 
     return [
         SweepPoint(

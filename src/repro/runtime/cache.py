@@ -1,0 +1,352 @@
+"""The content-addressed on-disk result store.
+
+Every entry is one serialized :class:`~repro.study.results.StudyResult`
+envelope filed under the :mod:`~repro.runtime.fingerprint` of the
+invocation that produced it::
+
+    <root>/
+      objects/<key[:2]>/<key>.json     one cache entry per fingerprint
+      stats.json                       cumulative hit/miss/corrupt counters
+
+Entry files wrap the result envelope in a small integrity document
+(``repro-cache-entry/v1``) carrying the fingerprint and a SHA-256 digest
+of the canonical envelope text.  Reads re-validate both; anything that
+fails — truncated JSON, digest mismatch, foreign fingerprint — is
+treated as a miss, counted as *corrupt*, and evicted, so a damaged store
+degrades to recomputation instead of wrong answers.
+
+Writes are atomic (temp file + ``os.replace`` in the same directory), so
+concurrent writers and readers — the scheduler's whole point — never
+observe half an entry.
+
+The default store location is ``.repro-cache/`` under the current
+directory; the ``REPRO_CACHE_DIR`` environment variable or an explicit
+``root`` overrides it (CLI: ``--cache DIR`` / ``--no-cache``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
+
+from ..errors import CacheError
+from ..study.results import StudyResult
+
+#: Version tag of the on-disk cache entry wrapper.
+CACHE_SCHEMA = "repro-cache-entry/v1"
+
+#: Environment variable naming the default cache directory.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: Store location used when neither an explicit root nor the environment
+#: variable names one.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+CacheLike = Union[None, bool, str, os.PathLike, "ResultCache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """One snapshot of a cache store: contents plus lifetime counters."""
+
+    root: str
+    entries: int = 0
+    total_bytes: int = 0
+    by_study: Dict[str, int] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+
+    def __str__(self) -> str:
+        lines = [
+            f"cache root   : {self.root}",
+            f"entries      : {self.entries}",
+            f"total bytes  : {self.total_bytes}",
+            f"hits         : {self.hits}",
+            f"misses       : {self.misses}",
+            f"corrupt      : {self.corrupt}",
+        ]
+        for study in sorted(self.by_study):
+            lines.append(f"  {study:<12}: {self.by_study[study]}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "root": self.root,
+            "entries": self.entries,
+            "total_bytes": self.total_bytes,
+            "by_study": dict(self.by_study),
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+        }
+
+
+def _canonical_envelope_text(envelope: Dict[str, Any]) -> str:
+    return json.dumps(envelope, sort_keys=True, separators=(",", ":"))
+
+
+def _envelope_digest(envelope: Dict[str, Any]) -> str:
+    return hashlib.sha256(
+        _canonical_envelope_text(envelope).encode("utf-8")
+    ).hexdigest()
+
+
+def with_cache_status(result: StudyResult, status: str) -> StudyResult:
+    """A copy of ``result`` whose provenance records ``status`` ("hit" or
+    "miss").  The ``cache`` provenance field is excluded from equality,
+    so a warm-cache copy still compares equal to the cold-run original —
+    the bit-identity contract survives annotation."""
+    provenance = dataclasses.replace(result.provenance, cache=status)
+    return dataclasses.replace(result, provenance=provenance)
+
+
+class ResultCache:
+    """A content-addressed store of typed study results.
+
+    >>> import tempfile
+    >>> from repro.study.results import Fig3Result, Provenance
+    >>> root = tempfile.mkdtemp()
+    >>> cache = ResultCache(root)
+    >>> result = Fig3Result(provenance=Provenance.capture("fig3"),
+    ...                     baseline_area=288.0)
+    >>> cache.get("0" * 64) is None      # cold store: a miss
+    True
+    >>> _ = cache.put("0" * 64, result)
+    >>> cache.get("0" * 64) == result    # warm store: the same result
+    True
+    >>> stats = cache.stats()
+    >>> (stats.entries, stats.hits, stats.misses)
+    (1, 1, 1)
+    """
+
+    def __init__(self, root: Union[None, str, os.PathLike] = None):
+        if root is None:
+            root = os.environ.get(ENV_CACHE_DIR) or DEFAULT_CACHE_DIR
+        self.root = Path(root)
+
+    # -- paths -----------------------------------------------------------------
+
+    @property
+    def _objects(self) -> Path:
+        return self.root / "objects"
+
+    @property
+    def _stats_path(self) -> Path:
+        return self.root / "stats.json"
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for ``key`` lives (whether or not it exists)."""
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise CacheError(f"Malformed cache key {key!r}")
+        return self._objects / key[:2] / f"{key}.json"
+
+    def _entries(self) -> Iterator[Path]:
+        if not self._objects.is_dir():
+            return
+        for shard in sorted(self._objects.iterdir()):
+            if shard.is_dir():
+                yield from sorted(shard.glob("*.json"))
+
+    # -- atomic file primitives ------------------------------------------------
+
+    def _write_atomic(self, path: Path, text: str) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                stream.write(text)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def _bump(self, hits: int = 0, misses: int = 0, corrupt: int = 0) -> None:
+        """Fold counter deltas into ``stats.json``.  Strictly best-effort:
+        counters are telemetry, so an unwritable store (read-only mount,
+        foreign ownership) must never turn a valid hit into a failure —
+        the write is simply skipped.  Atomic replace; concurrent bumps may
+        drop a count, never corrupt."""
+        counters = self._counters()
+        counters["hits"] += hits
+        counters["misses"] += misses
+        counters["corrupt"] += corrupt
+        counters["updated"] = time.time()
+        try:
+            self._write_atomic(self._stats_path, json.dumps(counters))
+        except OSError:
+            pass
+
+    def _counters(self) -> Dict[str, Any]:
+        try:
+            with open(self._stats_path, "r", encoding="utf-8") as stream:
+                raw = json.load(stream)
+        except (OSError, json.JSONDecodeError):
+            raw = {}
+        return {
+            "hits": int(raw.get("hits", 0)),
+            "misses": int(raw.get("misses", 0)),
+            "corrupt": int(raw.get("corrupt", 0)),
+        }
+
+    # -- the store API ---------------------------------------------------------
+
+    def get(self, key: str) -> Optional[StudyResult]:
+        """The stored result for ``key``, or ``None`` (a miss).
+
+        Integrity is re-validated on every read; corrupt entries are
+        evicted and count as both *corrupt* and a miss.
+        """
+        path = self.path_for(key)
+        document, corrupt = self._load_entry(path, key)
+        result = None
+        if document is not None:
+            try:
+                result = StudyResult.from_json_dict(document)
+            except Exception:
+                # A digest-valid entry that no longer decodes (result
+                # class reshaped without a version bump, hand-edited
+                # store) is corrupt, not fatal: evict and recompute.
+                corrupt = True
+        if result is None:
+            self._bump(misses=1, corrupt=1 if corrupt else 0)
+            if corrupt:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            return None
+        self._bump(hits=1)
+        return result
+
+    def _load_entry(self, path: Path,
+                    key: str) -> Tuple[Optional[Dict[str, Any]], bool]:
+        """``(envelope, corrupt)``: the validated result envelope, or
+        ``(None, False)`` for absent and ``(None, True)`` for damaged."""
+        try:
+            with open(path, "r", encoding="utf-8") as stream:
+                wrapper = json.load(stream)
+        except FileNotFoundError:
+            return None, False
+        except (OSError, json.JSONDecodeError):
+            return None, True
+        if not isinstance(wrapper, dict):
+            return None, True
+        envelope = wrapper.get("result")
+        if (wrapper.get("schema") != CACHE_SCHEMA
+                or wrapper.get("fingerprint") != key
+                or not isinstance(envelope, dict)
+                or wrapper.get("sha256") != _envelope_digest(envelope)):
+            return None, True
+        return envelope, False
+
+    def put(self, key: str, result: StudyResult) -> Path:
+        """Persist ``result`` under ``key`` atomically; returns the entry
+        path.  Does not touch the hit/miss counters — pair it with the
+        :meth:`get` miss that preceded it."""
+        envelope = result.to_json_dict()
+        wrapper = {
+            "schema": CACHE_SCHEMA,
+            "fingerprint": key,
+            "study": type(result).study_name,
+            "sha256": _envelope_digest(envelope),
+            "created": time.time(),
+            "result": envelope,
+        }
+        path = self.path_for(key)
+        try:
+            self._write_atomic(path, json.dumps(wrapper, sort_keys=True))
+        except OSError as error:
+            raise CacheError(
+                f"Cannot write cache entry {path}: {error}"
+            ) from error
+        return path
+
+    # -- maintenance -----------------------------------------------------------
+
+    def stats(self) -> CacheStats:
+        """Scan the store: entry counts, bytes, per-study breakdown, plus
+        the cumulative hit/miss/corrupt counters."""
+        entries = 0
+        total_bytes = 0
+        by_study: Dict[str, int] = {}
+        for path in self._entries():
+            entries += 1
+            try:
+                total_bytes += path.stat().st_size
+                with open(path, "r", encoding="utf-8") as stream:
+                    study = json.load(stream).get("study", "?")
+            except (OSError, json.JSONDecodeError):
+                study = "?"
+            by_study[study] = by_study.get(study, 0) + 1
+        counters = self._counters()
+        return CacheStats(
+            root=str(self.root),
+            entries=entries,
+            total_bytes=total_bytes,
+            by_study=by_study,
+            **counters,
+        )
+
+    def prune(self, study: Optional[str] = None) -> int:
+        """Delete entries (all of them, or only one study's); returns the
+        number removed.  Counters survive pruning."""
+        removed = 0
+        for path in list(self._entries()):
+            if study is not None:
+                try:
+                    with open(path, "r", encoding="utf-8") as stream:
+                        entry_study = json.load(stream).get("study")
+                except (OSError, json.JSONDecodeError):
+                    entry_study = None
+                if entry_study != study:
+                    continue
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+def as_cache(cache: CacheLike) -> Optional[ResultCache]:
+    """Normalise the ``cache=`` parameter every runtime entry point takes:
+    ``None``/``False`` disable caching, ``True`` opens the default store
+    (``$REPRO_CACHE_DIR`` or ``.repro-cache/``), a path opens that store,
+    and a :class:`ResultCache` passes through."""
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return ResultCache()
+    if isinstance(cache, ResultCache):
+        return cache
+    if isinstance(cache, (str, os.PathLike)):
+        return ResultCache(cache)
+    raise CacheError(
+        f"cache= must be None, bool, a path or a ResultCache, "
+        f"got {type(cache).__name__}"
+    )
+
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "CacheLike",
+    "CacheStats",
+    "DEFAULT_CACHE_DIR",
+    "ENV_CACHE_DIR",
+    "ResultCache",
+    "as_cache",
+    "with_cache_status",
+]

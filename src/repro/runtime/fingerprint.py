@@ -1,0 +1,103 @@
+"""Content addresses for study invocations.
+
+A *fingerprint* is the cache key of one study run: a stable SHA-256 hex
+digest of everything that determines the typed result —
+
+* the study name and (for sweeps) the engine,
+* the caller's parameter overrides and seed (``SeedSequence`` values are
+  lowered to their tagged-JSON form, so equal seeds hash equally however
+  they are spelled as sequences),
+* the :class:`~repro.study.spec.SweepSpec`, when one is involved,
+* ``repro.__version__`` — a new package version never reuses old cache
+  entries,
+* the provenance ``config_hash`` of the same configuration, tying the
+  key to the envelope schema version.
+
+Hashing rides on the tagged-JSON encoder of
+:mod:`repro.study.serialize` (:func:`~repro.study.serialize.
+canonical_json` — sorted keys, compact separators, ``repr``
+shortest-round-trip floats), so any parameter value a result envelope
+can carry can also be fingerprinted, bit-exactly.
+
+The key is **conservative**: it hashes the parameters as the caller
+spelled them, so spelling a default out produces a different address
+than omitting it.  A conservative key can cause a spurious miss, never a
+wrong hit.
+
+Pure *execution* parameters — worker counts, scheduler backends, chunk
+sizes — are excluded (:data:`EXECUTION_PARAMS`): the determinism
+contract guarantees they cannot change the result, so they must not
+change its address either.
+
+>>> study_fingerprint("fig3") == study_fingerprint("fig3")
+True
+>>> study_fingerprint("fig3") != study_fingerprint("fig3", {"unit_width": 6})
+True
+>>> study_fingerprint("fig3", {"jobs": 4}) == study_fingerprint("fig3")
+True
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Mapping, Optional
+
+from ..study.results import RESULT_SCHEMA, _normalize_seeds
+from ..study.serialize import canonical_json, config_hash
+
+#: Parameters that select *how* a study executes, never *what* it
+#: computes.  The scheduler's determinism contract makes results
+#: invariant under all of them, so they are excluded from fingerprints.
+EXECUTION_PARAMS = frozenset({"jobs", "workers", "backend", "chunk_size"})
+
+
+def _package_version() -> str:
+    from .. import __version__
+    return __version__
+
+
+def study_fingerprint(
+    study: str,
+    params: Optional[Mapping[str, Any]] = None,
+    seed: Any = None,
+    engine: Optional[str] = None,
+    spec: Any = None,
+) -> str:
+    """The content address of one study invocation.
+
+    ``params`` are the caller's explicit overrides; ``seed``/``engine``/
+    ``spec`` are the sweep driver's positional configuration (``None``
+    for plain registry studies, whose seed travels inside ``params``).
+    """
+    safe_params: Dict[str, Any] = {
+        key: _normalize_seeds(value)
+        for key, value in sorted((params or {}).items())
+        if key not in EXECUTION_PARAMS
+    }
+    document = {
+        "study": study,
+        "engine": engine,
+        "seed": _normalize_seeds(seed) if seed is not None else None,
+        "params": safe_params,
+        "spec": spec,
+        "version": _package_version(),
+        "config": config_hash(
+            {"study": study, "params": safe_params, "schema": RESULT_SCHEMA}
+        ),
+    }
+    return hashlib.sha256(
+        canonical_json(document).encode("utf-8")
+    ).hexdigest()
+
+
+def sweep_fingerprint(spec: Any, engine: str, trials: int, seed: Any,
+                      fixed: Optional[Mapping[str, Any]] = None) -> str:
+    """The content address of one :func:`~repro.study.sweeps.
+    run_sweep_study` invocation."""
+    return study_fingerprint(
+        "sweep",
+        params={"trials": trials, **(dict(fixed) if fixed else {})},
+        seed=seed,
+        engine=engine,
+        spec=spec,
+    )

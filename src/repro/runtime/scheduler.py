@@ -1,0 +1,145 @@
+"""The deterministic parallel scheduler.
+
+One pool implementation for the whole repository: every parallel code
+path — ``run_sweep_study(jobs=...)``, ``montecarlo.sweep(workers=...)``,
+the ``--jobs`` CLI flag — lowers onto :func:`run_tasks`, an *ordered*
+map over one of three backends:
+
+========  ===========================  =====================================
+backend   executor                     when
+========  ===========================  =====================================
+serial    in-process ``for`` loop      ``jobs<=1`` (the reference path)
+process   ``ProcessPoolExecutor``      default for ``jobs>1`` (CPU-bound
+                                       NumPy work; fork-cheap on Linux)
+thread    ``ThreadPoolExecutor``       explicit opt-in (cheap tasks, tests,
+                                       single-core containers)
+========  ===========================  =====================================
+
+Determinism contract
+--------------------
+``run_tasks(fn, tasks)[i] == fn(tasks[i])`` for every backend and every
+``jobs`` value — results come back in submission order, and tasks are
+constructed so that *nothing about scheduling leaks into them*:
+
+* every random task carries its own pre-spawned child
+  :class:`~numpy.random.SeedSequence`, derived in the parent under the
+  reserved ``_SWEEP_SPAWN_KEY`` contract **per corner, not per worker**
+  (see :meth:`repro.study.spec.SweepSpec.seeds`);
+* transient shards re-plan the full characterisation grid (cheap,
+  analytical) and integrate only their slice on the shared time base
+  (:func:`repro.cells.characterize.characterize_cases`), so a shard's
+  waveforms are bit-identical to the full-batch run.
+
+Sharding (:func:`shard_indices`) is contiguous and balanced, purely a
+function of ``(n, shards)`` — never of measured runtimes — so the same
+request always produces the same task list.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from ..errors import RuntimeLayerError
+
+#: The executor backends :func:`run_tasks` understands.
+BACKENDS = ("serial", "thread", "process")
+
+_Task = TypeVar("_Task")
+_Result = TypeVar("_Result")
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``jobs`` request: ``None``/``0``/``1`` mean serial,
+    any negative value means "one per CPU".
+
+    >>> resolve_jobs(None), resolve_jobs(1), resolve_jobs(4)
+    (1, 1, 4)
+    >>> resolve_jobs(-1) >= 1
+    True
+    """
+    if jobs is None or jobs == 0:
+        return 1
+    if jobs < 0:
+        return os.cpu_count() or 1
+    return int(jobs)
+
+
+def resolve_backend(backend: Optional[str], jobs: int) -> str:
+    """Pick the executor: explicit ``backend`` wins, otherwise serial for
+    one job and a process pool for more."""
+    if backend is None:
+        return "process" if jobs > 1 else "serial"
+    if backend not in BACKENDS:
+        raise RuntimeLayerError(
+            f"Unknown scheduler backend {backend!r}; use one of {BACKENDS}"
+        )
+    return backend
+
+
+def run_tasks(
+    fn: Callable[[_Task], _Result],
+    tasks: Sequence[_Task],
+    jobs: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> List[_Result]:
+    """Ordered map of ``fn`` over ``tasks`` on the selected backend.
+
+    ``results[i] == fn(tasks[i])`` regardless of backend, worker count or
+    completion order; the process backend requires ``fn`` and every task
+    to be picklable (module-level functions, frozen dataclasses).
+    """
+    jobs = resolve_jobs(jobs)
+    backend = resolve_backend(backend, jobs)
+    if backend == "serial" or jobs <= 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+    executor_type = (ProcessPoolExecutor if backend == "process"
+                     else ThreadPoolExecutor)
+    with executor_type(max_workers=min(jobs, len(tasks))) as pool:
+        return list(pool.map(fn, tasks))
+
+
+def shard_indices(n: int, shards: int) -> List[Tuple[int, int]]:
+    """Split ``range(n)`` into at most ``shards`` contiguous, balanced
+    ``(start, stop)`` slices — deterministic in ``(n, shards)`` alone.
+
+    >>> shard_indices(5, 2)
+    [(0, 3), (3, 5)]
+    >>> shard_indices(2, 8)
+    [(0, 1), (1, 2)]
+    >>> shard_indices(0, 3)
+    []
+    """
+    if n <= 0:
+        return []
+    shards = max(1, min(shards, n))
+    base, extra = divmod(n, shards)
+    slices = []
+    start = 0
+    for index in range(shards):
+        stop = start + base + (1 if index < extra else 0)
+        slices.append((start, stop))
+        start = stop
+    return slices
+
+
+def plan_shards(n_tasks: int, jobs: Optional[int],
+                oversubscribe: int = 4) -> List[Tuple[int, int]]:
+    """The shard plan for ``n_tasks`` units of work on ``jobs`` workers:
+    contiguous chunks, ``oversubscribe`` shards per worker so stragglers
+    balance, one shard per task when tasks are scarce."""
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1:
+        return shard_indices(n_tasks, 1)
+    return shard_indices(n_tasks, jobs * max(1, oversubscribe))
+
+
+__all__ = [
+    "BACKENDS",
+    "plan_shards",
+    "resolve_backend",
+    "resolve_jobs",
+    "run_tasks",
+    "shard_indices",
+]

@@ -6,21 +6,34 @@ Examples::
     python -m repro run fig7 --json fig7.json
     python -m repro run fig2 --seed 7 --trials 500 --json -
     python -m repro run fig8 --text
+    python -m repro run fig3 --json - --cache .repro-cache
     python -m repro sweep --engine immunity --axis cnts_per_trial=2,4,8 \
-        --axis technique=vulnerable,compact --trials 500 --json -
+        --axis technique=vulnerable,compact --trials 500 --jobs 4 --json -
     python -m repro sweep --engine transient --axis vdd=0.8:1.0:5 \
         --set cell=NAND2 --json sweep.json
+    python -m repro batch manifest.json --cache .repro-cache --jobs 4
+    python -m repro cache stats --cache .repro-cache
+    python -m repro cache prune --cache .repro-cache
 
 ``--json -`` streams the serialized result envelope (schema
 ``repro-study-result/v1``; see ``docs/repro_result.schema.json``) to
 stdout; ``--json PATH`` writes it to a file.  Without ``--json`` the
 result's text rendering (``str(result)``) is printed.
+
+Runtime flags (``run``, ``sweep`` and ``batch``): ``--jobs N`` shards
+the work over the runtime scheduler (bit-identical to serial);
+``--cache DIR`` consults and fills the content-addressed result store
+(also enabled store-wide by ``$REPRO_CACHE_DIR``; ``--no-cache`` turns
+it off).  When a cache is in play the hit/miss outcome is written to
+stderr and recorded in the result's provenance.
 """
 
 from __future__ import annotations
 
 import argparse
 import inspect
+import json as json_module
+import os
 import sys
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -34,26 +47,74 @@ from .sweeps import run_sweep_study
 def _parse_assignment(text: str) -> tuple:
     """``"key=value"`` -> (key, parsed value).
 
-    Commas build a tuple; a trailing comma makes a one-element tuple
-    (``tube_counts=4,`` -> ``(4,)``), which is how sequence-typed runner
-    parameters take a single value from the command line.
+    ``true``/``false``/``none`` (any case, ``null`` too) coerce to the
+    Python literals.  Commas build a tuple; a trailing comma makes a
+    one-element tuple (``tube_counts=4,`` -> ``(4,)``), which is how
+    sequence-typed runner parameters take a single value from the command
+    line.  Malformed assignments raise :class:`StudyError`, which the CLI
+    turns into a one-line message and exit code 2 — never a traceback.
     """
     key, sep, raw = text.partition("=")
     key = key.strip()
     if not sep or not key:
         raise StudyError(f"Malformed parameter {text!r}; expected key=value")
     raw = raw.strip()
-    lowered = raw.lower()
-    if lowered in ("true", "false"):
-        return key, lowered == "true"
-    if lowered in ("none", "null"):
-        return key, None
+    if not raw:
+        raise StudyError(f"Parameter {text!r} has no value; expected key=value")
     if "," in raw:
         tokens = [token for token in raw.split(",") if token.strip()]
         if not tokens:
             raise StudyError(f"Parameter {text!r} has no values")
-        return key, tuple(_parse_scalar(token) for token in tokens)
-    return key, _parse_scalar(raw)
+        return key, tuple(_parse_value(token) for token in tokens)
+    return key, _parse_value(raw)
+
+
+def _parse_value(token: str):
+    """One CLI value: the ``true``/``false``/``none`` literals, then the
+    int/float/str scalar fallback — applied uniformly to scalars and to
+    every element of a comma-separated tuple."""
+    lowered = token.strip().lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    return _parse_scalar(token)
+
+
+def _parse_assignments(texts: Optional[Sequence[str]],
+                       flag: str) -> Dict[str, Any]:
+    """Parse repeated ``KEY=VALUE`` flags, naming the flag in errors."""
+    values: Dict[str, Any] = {}
+    for text in texts or []:
+        try:
+            key, value = _parse_assignment(text)
+        except StudyError as error:
+            raise StudyError(f"{flag} {error}") from error
+        values[key] = value
+    return values
+
+
+def _resolve_cache(args):
+    """The ``--cache``/``--no-cache``/``$REPRO_CACHE_DIR`` resolution.
+
+    Returns a :class:`~repro.runtime.cache.ResultCache` or ``None``; the
+    explicit flags win over the environment variable.
+    """
+    from ..runtime.cache import ENV_CACHE_DIR, ResultCache
+
+    if getattr(args, "no_cache", False):
+        return None
+    explicit = getattr(args, "cache", None)
+    if explicit:
+        return ResultCache(explicit)
+    if os.environ.get(ENV_CACHE_DIR):
+        return ResultCache()
+    return None
+
+
+def _note_cache(result: StudyResult, store, stderr) -> None:
+    if store is not None and result.provenance.cache is not None:
+        stderr.write(f"cache {result.provenance.cache}: {store.root}\n")
 
 
 def _emit(result: StudyResult, json_target: Optional[str],
@@ -68,11 +129,9 @@ def _emit(result: StudyResult, json_target: Optional[str],
         stdout.write(str(result) + "\n")
 
 
-def _cmd_list(args, stdout) -> int:
+def _cmd_list(args, stdout, stderr) -> int:
     studies = list_studies()
     if args.json:
-        import json as json_module
-
         stdout.write(json_module.dumps(
             [
                 {
@@ -102,13 +161,10 @@ def _cmd_list(args, stdout) -> int:
     return 0
 
 
-def _cmd_run(args, stdout) -> int:
+def _cmd_run(args, stdout, stderr) -> int:
     definition = get_study(args.study)
     accepted = set(inspect.signature(definition.runner).parameters)
-    params: Dict[str, Any] = {}
-    for text in args.param or []:
-        key, value = _parse_assignment(text)
-        params[key] = value
+    params = _parse_assignments(args.param, "--param")
     if args.seed is not None:
         if "seed" not in accepted:
             raise StudyError(
@@ -123,18 +179,16 @@ def _cmd_run(args, stdout) -> int:
                 f"parameters: {sorted(accepted)}"
             )
         params["trials"] = args.trials
-    result = run_study(definition.name, **params)
+    store = _resolve_cache(args)
+    result = run_study(definition.name, cache=store, jobs=args.jobs, **params)
+    _note_cache(result, store, stderr)
     _emit(result, args.json, args.text, stdout)
     return 0
 
 
-def _cmd_sweep(args, stdout) -> int:
+def _cmd_sweep(args, stdout, stderr) -> int:
     spec = SweepSpec.parse(args.axis, mode=args.mode)
-    fixed: Dict[str, Any] = {}
-    for text in args.set or []:
-        key, value = _parse_assignment(text)
-        fixed[key] = value
-    kwargs: Dict[str, Any] = dict(fixed)
+    kwargs: Dict[str, Any] = _parse_assignments(args.set, "--set")
     if args.engine == "immunity":
         kwargs["trials"] = args.trials if args.trials is not None else 200
         kwargs["seed"] = args.seed if args.seed is not None else 2009
@@ -145,9 +199,58 @@ def _cmd_sweep(args, stdout) -> int:
             f"Engine {args.engine!r} takes no --seed/--trials "
             "(the transient engine is deterministic)"
         )
-    result = run_sweep_study(spec, engine=args.engine, **kwargs)
+    store = _resolve_cache(args)
+    result = run_sweep_study(spec, engine=args.engine, jobs=args.jobs,
+                             backend=args.backend, cache=store, **kwargs)
+    _note_cache(result, store, stderr)
     _emit(result, args.json, args.text, stdout)
     return 0
+
+
+def _cmd_batch(args, stdout, stderr) -> int:
+    from ..runtime.manifest import run_manifest
+
+    store = _resolve_cache(args)
+    result = run_manifest(args.manifest, cache=store, jobs=args.jobs)
+    _emit(result, args.json, args.text, stdout)
+    return 0
+
+
+def _cmd_cache(args, stdout, stderr) -> int:
+    from ..runtime.cache import ResultCache
+
+    store = _resolve_cache(args) or ResultCache()
+    if args.cache_command == "stats":
+        stats = store.stats()
+        if args.json:
+            stdout.write(json_module.dumps(stats.as_dict(), indent=2,
+                                           sort_keys=True) + "\n")
+        else:
+            stdout.write(str(stats) + "\n")
+        return 0
+    removed = store.prune(study=args.study)
+    stdout.write(f"pruned {removed} entr{'y' if removed == 1 else 'ies'} "
+                 f"from {store.root}\n")
+    return 0
+
+
+def _add_runtime_flags(parser: argparse.ArgumentParser,
+                       backend: bool = False) -> None:
+    """The scheduler/cache flags shared by ``run``, ``sweep``, ``batch``."""
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="shard the work over N workers (bit-identical "
+                             "to serial; negative = one per CPU)")
+    parser.add_argument("--cache", metavar="DIR", default=None,
+                        help="consult/fill the content-addressed result "
+                             "store at DIR (default store: $REPRO_CACHE_DIR)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache even if "
+                             "$REPRO_CACHE_DIR is set")
+    if backend:
+        parser.add_argument("--backend", choices=("serial", "thread", "process"),
+                            default=None,
+                            help="scheduler backend (default: process pool "
+                                 "when --jobs > 1)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -180,7 +283,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--param", action="append", metavar="KEY=VALUE",
                             help="extra runner parameter (repeatable; commas "
                                  "build a list, trailing comma a one-element "
-                                 "list, e.g. tube_counts=4,)")
+                                 "list, e.g. tube_counts=4,; true/false/none "
+                                 "coerce to the Python literals)")
+    _add_runtime_flags(run_parser)
     run_parser.set_defaults(handler=_cmd_run)
 
     sweep_parser = subparsers.add_parser(
@@ -206,7 +311,44 @@ def build_parser() -> argparse.ArgumentParser:
                               help="write the serialized result ('-' = stdout)")
     sweep_parser.add_argument("--text", action="store_true",
                               help="also print the text rendering with --json")
+    _add_runtime_flags(sweep_parser, backend=True)
     sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    batch_parser = subparsers.add_parser(
+        "batch",
+        help="run a JSON manifest of studies with cross-study dedup "
+             "(repro batch manifest.json --cache .repro-cache)")
+    batch_parser.add_argument("manifest",
+                              help="path to the manifest JSON (a list of "
+                                   "{study, params} / sweep entries)")
+    batch_parser.add_argument("--json", metavar="PATH",
+                              help="write the serialized batch outcome "
+                                   "('-' = stdout)")
+    batch_parser.add_argument("--text", action="store_true",
+                              help="also print the text rendering with --json")
+    _add_runtime_flags(batch_parser)
+    batch_parser.set_defaults(handler=_cmd_batch)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or prune the result cache")
+    cache_sub = cache_parser.add_subparsers(dest="cache_command",
+                                            required=True)
+    stats_parser = cache_sub.add_parser(
+        "stats", help="entry counts, sizes and hit/miss counters")
+    stats_parser.add_argument("--cache", metavar="DIR", default=None,
+                              help="store location (default: "
+                                   "$REPRO_CACHE_DIR or .repro-cache)")
+    stats_parser.add_argument("--json", action="store_true",
+                              help="emit the stats as JSON")
+    stats_parser.set_defaults(handler=_cmd_cache)
+    prune_parser = cache_sub.add_parser(
+        "prune", help="delete cache entries (all, or one study's)")
+    prune_parser.add_argument("--cache", metavar="DIR", default=None,
+                              help="store location (default: "
+                                   "$REPRO_CACHE_DIR or .repro-cache)")
+    prune_parser.add_argument("--study", default=None,
+                              help="only prune entries of this study")
+    prune_parser.set_defaults(handler=_cmd_cache)
 
     return parser
 
@@ -218,8 +360,11 @@ def main(argv: Optional[Sequence[str]] = None,
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
     try:
-        return args.handler(args, stdout)
+        return args.handler(args, stdout, stderr)
     except ReproError as error:
+        stderr.write(f"error: {error}\n")
+        return 2
+    except OSError as error:
         stderr.write(f"error: {error}\n")
         return 2
 

@@ -113,12 +113,25 @@ def get_study(name: str) -> StudyDefinition:
     raise StudyError(f"Unknown study {name!r}; available: {known}")
 
 
-def run_study(name: str, **params) -> StudyResult:
+def run_study(name: str, cache=None, jobs: "int | None" = None,
+              **params) -> StudyResult:
     """Run one study by name with keyword overrides.
 
     Unknown keywords raise :class:`~repro.errors.StudyError` listing the
     runner's accepted parameters, so typos fail fast instead of silently
     running the default configuration.
+
+    ``cache`` plugs the runtime layer's content-addressed store in: a
+    :class:`~repro.runtime.cache.ResultCache`, a directory path, or
+    ``True`` for the default store.  The invocation is fingerprinted
+    (study name, parameters, package version — see
+    :mod:`repro.runtime.fingerprint`); a warm entry is returned without
+    invoking the runner, and provenance records ``cache="hit"`` or
+    ``"miss"`` either way.
+
+    ``jobs`` asks for parallel execution and is forwarded to the runner's
+    ``workers`` parameter; studies without one reject it, mirroring how
+    the CLI rejects ``--seed`` for unseeded studies.
     """
     definition = get_study(name)
     accepted = definition.parameters()
@@ -128,4 +141,32 @@ def run_study(name: str, **params) -> StudyResult:
             f"Study {definition.name!r} does not accept {unknown}; "
             f"parameters: {sorted(accepted)}"
         )
-    return definition.runner(**params)
+    if jobs is not None:
+        if "workers" in accepted:
+            params.setdefault("workers", jobs)
+        elif "jobs" in accepted:
+            params.setdefault("jobs", jobs)
+        else:
+            raise StudyError(
+                f"Study {definition.name!r} has no parallel runner "
+                f"(no workers parameter); parameters: {sorted(accepted)}"
+            )
+    # Imported lazily: the runtime layer sits on top of the study layer,
+    # so a module-level import here would be circular.
+    from ..runtime.cache import as_cache, with_cache_status
+    from ..runtime.fingerprint import study_fingerprint
+
+    store = as_cache(cache)
+    if "seed" in params and params["seed"] is None:
+        # An explicit seed=None asks for fresh OS entropy — caching that
+        # would serve a stale random draw as a "hit", so bypass.
+        store = None
+    if store is None:
+        return definition.runner(**params)
+    key = study_fingerprint(definition.name, params=params)
+    cached = store.get(key)
+    if cached is not None:
+        return with_cache_status(cached, "hit")
+    result = definition.runner(**params)
+    store.put(key, result)
+    return with_cache_status(result, "miss")

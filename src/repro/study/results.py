@@ -66,6 +66,12 @@ class Provenance:
     ``config_hash`` is a short content hash of (study, params, schema) —
     two results with the same hash were produced by the same configuration
     of the same code version, which makes result files git-describable.
+
+    ``cache`` records how the runtime layer produced the result — ``None``
+    (no cache consulted), ``"miss"`` (computed and stored) or ``"hit"``
+    (returned from the content-addressed store).  It is excluded from
+    equality: a warm-cache result must still compare equal to the cold run
+    that produced it, which is the runtime layer's bit-identity contract.
     """
 
     study: str
@@ -75,6 +81,7 @@ class Provenance:
     config_hash: str = ""
     package_version: str = ""
     schema: str = RESULT_SCHEMA
+    cache: Optional[str] = field(default=None, compare=False)
 
     @classmethod
     def capture(cls, study: str, params: Optional[Mapping[str, Any]] = None,

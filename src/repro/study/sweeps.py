@@ -23,12 +23,15 @@ gate="NAND3")``).
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Any, ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..errors import StudyError
 from .results import Provenance, StudyResult
-from .spec import SweepSpec
+from .spec import Corner, SweepSpec
 
 #: Axes each engine understands, with their fixed-parameter defaults.
 IMMUNITY_AXES: Dict[str, object] = {
@@ -144,19 +147,59 @@ def _fixed_values(defaults: Mapping[str, object], spec: SweepSpec,
 
 def run_sweep_study(spec: SweepSpec, engine: str = "immunity",
                     trials: int = 200, seed=2009,
+                    jobs: Optional[int] = None,
+                    backend: Optional[str] = None,
+                    cache=None,
                     **fixed) -> SweepStudyResult:
-    """Evaluate a :class:`SweepSpec` on one of the vectorized engines."""
+    """Evaluate a :class:`SweepSpec` on one of the vectorized engines.
+
+    ``jobs``/``backend`` route the sweep through the runtime scheduler:
+    corners are sharded into contiguous chunks and evaluated over a
+    process pool (or threads / serially — see
+    :mod:`repro.runtime.scheduler`), with per-corner seeds spawned in the
+    parent under the established ``_SWEEP_SPAWN_KEY`` contract, so the
+    merged result is **bit-identical** to the serial run for any ``jobs``
+    value on either engine.
+
+    ``cache`` plugs the content-addressed result store in (a
+    :class:`~repro.runtime.cache.ResultCache`, a path, or ``True`` for
+    the default store): warm re-runs return the stored typed result
+    without touching the engines, and provenance records ``cache="hit"``
+    / ``"miss"``.  Scheduling parameters never enter the fingerprint or
+    provenance — they cannot change the result.
+    """
     if not isinstance(spec, SweepSpec):
         raise StudyError(f"run_sweep_study needs a SweepSpec, got {type(spec).__name__}")
-    if engine == "immunity":
-        records = _run_immunity(spec, trials=trials, seed=seed, fixed=fixed)
-    elif engine == "transient":
-        records = _run_transient(spec, fixed=fixed)
-    else:
+    if engine not in ("immunity", "transient"):
         raise StudyError(
             f"Unknown sweep engine {engine!r}; use 'immunity' or 'transient'"
         )
-    return SweepStudyResult(
+    # Imported lazily: the runtime layer sits on top of the study layer.
+    from ..runtime.cache import as_cache, with_cache_status
+    from ..runtime.fingerprint import sweep_fingerprint
+    from ..runtime.scheduler import resolve_jobs
+
+    store = as_cache(cache)
+    if engine == "immunity" and seed is None:
+        # seed=None asks for fresh OS entropy — a deliberately
+        # nondeterministic run.  Caching it would serve a stale random
+        # draw as a "hit", so the cache is bypassed entirely.
+        store = None
+    key = None
+    if store is not None:
+        key = sweep_fingerprint(spec, engine, trials, seed, fixed)
+        cached = store.get(key)
+        if cached is not None:
+            return with_cache_status(cached, "hit")
+
+    n_jobs = resolve_jobs(jobs)
+    if engine == "immunity":
+        records = _run_immunity(spec, trials=trials, seed=seed, fixed=fixed,
+                                jobs=n_jobs, backend=backend)
+    else:
+        records = _run_transient(spec, fixed=fixed, jobs=n_jobs,
+                                 backend=backend)
+    result = SweepStudyResult(
         provenance=Provenance.capture(
             "sweep", engine=engine, seed=seed,
             params={"axes": {axis.name: axis.values for axis in spec.axes},
@@ -167,6 +210,10 @@ def run_sweep_study(spec: SweepSpec, engine: str = "immunity",
         engine=engine,
         records=tuple(records),
     )
+    if store is not None:
+        store.put(key, result)
+        result = with_cache_status(result, "miss")
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -183,12 +230,133 @@ def _immunity_metrics(result) -> Dict[str, Any]:
     }
 
 
+def _axis_or_constant(spec: SweepSpec, constants: Mapping[str, object],
+                      name: str) -> Tuple[object, ...]:
+    if name in spec.axis_names:
+        return tuple(spec.axis(name).values)
+    return (constants[name],)
+
+
+def _immunity_corner_seeds(spec: SweepSpec, constants: Mapping[str, object],
+                           seed) -> List[np.random.SeedSequence]:
+    """One child :class:`~numpy.random.SeedSequence` per corner, exactly
+    as the serial paths assign them.
+
+    Grid mode replicates :func:`repro.immunity.montecarlo.sweep`'s
+    contract: children are spawned under the reserved ``_SWEEP_SPAWN_KEY``
+    in ``(gate, cnts, angle, metallic)`` product order, and corners
+    differing only in ``technique`` share one child.  Zip mode is
+    :meth:`SweepSpec.seeds` with ``share_axes=("technique",)``.  Spawning
+    happens in the parent, per corner — never per worker — which is what
+    makes sharded execution bit-identical to serial.
+    """
+    if spec.mode != "grid":
+        return spec.seeds(seed, share_axes=("technique",))
+    from ..immunity.montecarlo import _SWEEP_SPAWN_KEY, _as_seed_sequence
+
+    combos = list(itertools.product(
+        _axis_or_constant(spec, constants, "gate"),
+        _axis_or_constant(spec, constants, "cnts_per_trial"),
+        _axis_or_constant(spec, constants, "max_angle_deg"),
+        _axis_or_constant(spec, constants, "metallic_fraction"),
+    ))
+    root = _as_seed_sequence(seed)
+    root = np.random.SeedSequence(
+        entropy=root.entropy,
+        spawn_key=root.spawn_key + (_SWEEP_SPAWN_KEY,),
+        pool_size=root.pool_size,
+    )
+    by_combo = dict(zip(combos, root.spawn(len(combos))))
+
+    def value_of(corner, name):
+        return corner.get(name, constants.get(name))
+
+    return [
+        by_combo[(value_of(corner, "gate"),
+                  value_of(corner, "cnts_per_trial"),
+                  value_of(corner, "max_angle_deg"),
+                  value_of(corner, "metallic_fraction"))]
+        for corner in spec.corners()
+    ]
+
+
+@dataclass(frozen=True)
+class _ImmunityShard:
+    """A picklable chunk of immunity corners with pre-spawned seeds."""
+
+    corners: Tuple[Corner, ...]
+    values: Tuple[Tuple[Tuple[str, object], ...], ...]  # resolved bindings
+    seeds: Tuple[np.random.SeedSequence, ...]
+    trials: int
+
+
+def _run_immunity_shard(shard: _ImmunityShard) -> List[Dict[str, Any]]:
+    """Worker: evaluate one shard's corners (module-level for pickling)."""
+    from ..core.standard_cell import assemble_cell
+    from ..immunity.montecarlo import run_immunity_trials
+    from ..logic.functions import standard_gate
+
+    metrics = []
+    for bindings, child in zip(shard.values, shard.seeds):
+        values = dict(bindings)
+        cell = assemble_cell(
+            standard_gate(values["gate"]), technique=values["technique"]
+        )
+        result = run_immunity_trials(
+            cell,
+            trials=shard.trials,
+            cnts_per_trial=values["cnts_per_trial"],
+            max_angle_deg=values["max_angle_deg"],
+            metallic_fraction=values["metallic_fraction"],
+            seed=child,
+        )
+        metrics.append(_immunity_metrics(result))
+    return metrics
+
+
+def _run_immunity_sharded(spec: SweepSpec, trials: int, seed,
+                          constants: Mapping[str, object],
+                          jobs: int, backend: Optional[str]) -> List[SweepRecord]:
+    from ..runtime.scheduler import plan_shards, run_tasks
+
+    def value_of(corner, name):
+        return corner.get(name, constants.get(name))
+
+    corners = spec.corners()
+    seeds = _immunity_corner_seeds(spec, constants, seed)
+    resolved = [
+        tuple((name, value_of(corner, name)) for name in IMMUNITY_AXES)
+        for corner in corners
+    ]
+    shards = [
+        _ImmunityShard(
+            corners=tuple(corners[start:stop]),
+            values=tuple(resolved[start:stop]),
+            seeds=tuple(seeds[start:stop]),
+            trials=trials,
+        )
+        for start, stop in plan_shards(len(corners), jobs)
+    ]
+    per_shard = run_tasks(_run_immunity_shard, shards, jobs=jobs,
+                          backend=backend)
+    return [
+        SweepRecord(corner=corner, metrics=metrics)
+        for shard, shard_metrics in zip(shards, per_shard)
+        for corner, metrics in zip(shard.corners, shard_metrics)
+    ]
+
+
 def _run_immunity(spec: SweepSpec, trials: int, seed,
-                  fixed: Mapping[str, object]) -> List[SweepRecord]:
+                  fixed: Mapping[str, object], jobs: int = 1,
+                  backend: Optional[str] = None) -> List[SweepRecord]:
     from ..immunity.montecarlo import sweep as immunity_sweep
 
     _validate_axes(spec, IMMUNITY_AXES, "immunity")
     constants = _fixed_values(IMMUNITY_AXES, spec, fixed, "immunity")
+
+    if jobs > 1:
+        return _run_immunity_sharded(spec, trials, seed, constants,
+                                     jobs, backend)
 
     def value_of(corner, name):
         return corner.get(name, constants.get(name))
@@ -272,12 +440,151 @@ def _corner_name(vdd: float, pitch_nm: float) -> str:
     return f"v{vdd:g}_p{pitch_nm:g}"
 
 
+@dataclass(frozen=True)
+class _TransientGridShard:
+    """A picklable slice of one cell's characterisation grid.
+
+    Workers re-plan the **full** ``(drive, load, slew, corner)`` grid —
+    cheap, analytical — so the shared time base matches the serial batch
+    exactly, then integrate only ``case_indices``
+    (:func:`repro.cells.characterize.characterize_cases`)."""
+
+    cell: str
+    case_indices: Tuple[int, ...]
+    drives: Tuple[object, ...]
+    loads: Tuple[object, ...]
+    slews: Tuple[object, ...]
+    corner_grid: Tuple[Tuple[object, object], ...]   # (vdd, pitch_nm)
+
+
+def _run_transient_grid_shard(shard: _TransientGridShard) -> List[Dict[str, Any]]:
+    """Worker: integrate one grid shard (module-level for pickling)."""
+    from ..cells.characterize import characterize_cases, cnfet_technology
+
+    corners = {
+        _corner_name(vdd, pitch): cnfet_technology(vdd=vdd, pitch_nm=pitch)
+        for vdd, pitch in shard.corner_grid
+    }
+    points = characterize_cases(
+        shard.cell, shard.case_indices,
+        drive_strengths=shard.drives,
+        load_capacitances_f=shard.loads,
+        input_slews_s=shard.slews,
+        corners=corners,
+    )
+    return [_transient_metrics(point) for point in points]
+
+
+@dataclass(frozen=True)
+class _TransientZipShard:
+    """A picklable chunk of lock-step corners, each its own tiny grid —
+    exactly the serial zip path's evaluation unit."""
+
+    cases: Tuple[Tuple[str, object, object, object, object, object], ...]
+
+
+def _run_transient_zip_shard(shard: _TransientZipShard) -> List[Dict[str, Any]]:
+    """Worker: evaluate one zip shard (module-level for pickling)."""
+    from ..cells.characterize import characterize_sweep, cnfet_technology
+
+    metrics = []
+    for cell, drive, load, slew, vdd, pitch in shard.cases:
+        name = _corner_name(vdd, pitch)
+        sweep = characterize_sweep(
+            gate_names=(cell,),
+            drive_strengths=(drive,),
+            load_capacitances_f=(load,),
+            input_slews_s=(slew,),
+            corners={name: cnfet_technology(vdd=vdd, pitch_nm=pitch)},
+        )
+        metrics.append(_transient_metrics(sweep.points[0]))
+    return metrics
+
+
+def _run_transient_sharded(spec: SweepSpec, constants: Mapping[str, object],
+                           jobs: int, backend: Optional[str]) -> List[SweepRecord]:
+    from ..runtime.scheduler import plan_shards, run_tasks, shard_indices
+
+    def value_of(corner, name):
+        return corner.get(name, constants.get(name))
+
+    corners_list = spec.corners()
+
+    if spec.mode == "zip":
+        shards = [
+            _TransientZipShard(cases=tuple(
+                (str(value_of(c, "cell")), value_of(c, "drive"),
+                 value_of(c, "load_f"), value_of(c, "slew_s"),
+                 value_of(c, "vdd"), value_of(c, "pitch_nm"))
+                for c in corners_list[start:stop]
+            ))
+            for start, stop in plan_shards(len(corners_list), jobs)
+        ]
+        per_shard = run_tasks(_run_transient_zip_shard, shards, jobs=jobs,
+                              backend=backend)
+        flat = [metrics for chunk in per_shard for metrics in chunk]
+        return [SweepRecord(corner=corner, metrics=metrics)
+                for corner, metrics in zip(corners_list, flat)]
+
+    drives = _axis_or_constant(spec, constants, "drive")
+    loads = _axis_or_constant(spec, constants, "load_f")
+    slews = _axis_or_constant(spec, constants, "slew_s")
+    vdds = _axis_or_constant(spec, constants, "vdd")
+    pitches = _axis_or_constant(spec, constants, "pitch_nm")
+    corner_grid = tuple((vdd, pitch) for vdd in vdds for pitch in pitches)
+
+    # Spec corner -> (cell, flat index into the per-cell product grid),
+    # grouped by cell because the shared time base is per cell.
+    by_cell: Dict[str, List[Tuple[int, int]]] = {}
+    for index, corner in enumerate(corners_list):
+        cell = str(value_of(corner, "cell"))
+        flat = np.ravel_multi_index(
+            (
+                drives.index(value_of(corner, "drive")),
+                loads.index(value_of(corner, "load_f")),
+                slews.index(value_of(corner, "slew_s")),
+                vdds.index(value_of(corner, "vdd")) * len(pitches)
+                + pitches.index(value_of(corner, "pitch_nm")),
+            ),
+            (len(drives), len(loads), len(slews), len(corner_grid)),
+        )
+        by_cell.setdefault(cell, []).append((index, int(flat)))
+
+    tasks: List[_TransientGridShard] = []
+    owners: List[List[int]] = []
+    for cell, pairs in by_cell.items():
+        # One shard per worker, no oversubscription: each transient shard
+        # re-plans the whole per-cell grid (O(grid), unlike the O(slice)
+        # immunity shards), so extra shards multiply planning work.
+        for start, stop in shard_indices(len(pairs), jobs):
+            chunk = pairs[start:stop]
+            tasks.append(_TransientGridShard(
+                cell=cell,
+                case_indices=tuple(flat for _, flat in chunk),
+                drives=drives, loads=loads, slews=slews,
+                corner_grid=corner_grid,
+            ))
+            owners.append([index for index, _ in chunk])
+    per_shard = run_tasks(_run_transient_grid_shard, tasks, jobs=jobs,
+                          backend=backend)
+    records: List[Optional[SweepRecord]] = [None] * len(corners_list)
+    for owner, metrics_list in zip(owners, per_shard):
+        for index, metrics in zip(owner, metrics_list):
+            records[index] = SweepRecord(corner=corners_list[index],
+                                         metrics=metrics)
+    return records
+
+
 def _run_transient(spec: SweepSpec,
-                   fixed: Mapping[str, object]) -> List[SweepRecord]:
+                   fixed: Mapping[str, object], jobs: int = 1,
+                   backend: Optional[str] = None) -> List[SweepRecord]:
     from ..cells.characterize import characterize_sweep, cnfet_technology
 
     _validate_axes(spec, TRANSIENT_AXES, "transient")
     constants = _fixed_values(TRANSIENT_AXES, spec, fixed, "transient")
+
+    if jobs > 1:
+        return _run_transient_sharded(spec, constants, jobs, backend)
 
     def value_of(corner, name):
         return corner.get(name, constants.get(name))

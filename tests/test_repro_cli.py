@@ -9,8 +9,9 @@ import sys
 import pytest
 
 from repro.analysis.experiments import run_fig3_nand3
+from repro.errors import StudyError
 from repro.study import StudyResult, decode
-from repro.study.cli import main
+from repro.study.cli import _parse_assignment, main
 from repro.study.results import RESULT_SCHEMA
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -108,6 +109,142 @@ class TestRunCommand:
         code, _, err = run_cli("run", "fig3", "--seed", "1")
         assert code == 2
         assert "takes no seed" in err
+
+
+class TestAssignmentParsing:
+    @pytest.mark.parametrize("text, expected", [
+        ("flag=true", True),
+        ("flag=FALSE", False),
+        ("opt=none", None),
+        ("opt=Null", None),
+        ("n=4", 4),
+        ("x=0.5", 0.5),
+        ("name=compact", "compact"),
+        ("seq=4,", (4,)),
+        ("seq=1,2.5,abc", (1, 2.5, "abc")),
+        ("flags=true,false", (True, False)),
+        ("mixed=1,none,TRUE", (1, None, True)),
+    ])
+    def test_literal_coercion(self, text, expected):
+        key, value = _parse_assignment(text)
+        assert value == expected
+        assert type(value) is type(expected)
+
+    @pytest.mark.parametrize("text", ["nonsense", "=3", "x=", "  =  ", ","])
+    def test_malformed_raises_study_error(self, text):
+        with pytest.raises(StudyError):
+            _parse_assignment(text)
+
+    @pytest.mark.parametrize("argv", [
+        ("run", "fig3", "--param", "nonsense"),
+        ("run", "fig3", "--param", "x="),
+        ("run", "fig3", "--param", "=3"),
+        ("sweep", "--axis", "cnts_per_trial=2", "--set", "nonsense"),
+        ("sweep", "--axis", "cnts_per_trial=2", "--set", "x="),
+    ])
+    def test_malformed_values_exit_2_without_traceback(self, argv):
+        """Satellite: malformed --param/--set values are a one-line
+        `error:` message and exit code 2, never a traceback."""
+        code, out, err = run_cli(*argv)
+        assert code == 2
+        assert err.startswith("error: ")
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+
+    def test_flag_named_in_message(self):
+        _, _, err_param = run_cli("run", "fig3", "--param", "bad")
+        assert "--param" in err_param
+        _, _, err_set = run_cli("sweep", "--axis", "cnts_per_trial=2",
+                                "--set", "bad")
+        assert "--set" in err_set
+
+    def test_none_literal_reaches_the_runner(self):
+        code, out, _ = run_cli(
+            "run", "characterization", "--param", "corners=none",
+            "--param", "gates=INV,", "--param", "drive_strengths=1,",
+            "--param", "load_capacitances_f=1e-15,", "--json", "-",
+        )
+        assert code == 0
+        params = json.loads(out)["provenance"]["params"]
+        # The literal was coerced to Python None, so the runner resolved
+        # its default corner map instead of choking on the string "none".
+        assert params["corners"] != "none"
+        assert params["gates"] == {"__tuple__": ["INV"]}
+
+
+class TestRuntimeFlags:
+    def test_cache_miss_then_hit(self, tmp_path):
+        store = str(tmp_path / "store")
+        code, out, err = run_cli("run", "fig3", "--json", "-",
+                                 "--cache", store)
+        assert code == 0
+        first = json.loads(out)
+        assert first["provenance"]["cache"] == "miss"
+        assert "cache miss" in err
+        code, out, err = run_cli("run", "fig3", "--json", "-",
+                                 "--cache", store)
+        assert code == 0
+        second = json.loads(out)
+        assert second["provenance"]["cache"] == "hit"
+        assert "cache hit" in err
+        assert first["payload"] == second["payload"]
+
+    def test_env_var_enables_and_no_cache_disables(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envstore"))
+        code, out, _ = run_cli("run", "fig3", "--json", "-")
+        assert json.loads(out)["provenance"]["cache"] == "miss"
+        code, out, _ = run_cli("run", "fig3", "--json", "-", "--no-cache")
+        assert json.loads(out)["provenance"]["cache"] is None
+
+    def test_cache_stats_reports_the_hit(self, tmp_path):
+        store = str(tmp_path / "store")
+        run_cli("run", "fig3", "--json", "-", "--cache", store)
+        run_cli("run", "fig3", "--json", "-", "--cache", store)
+        code, out, _ = run_cli("cache", "stats", "--cache", store)
+        assert code == 0
+        assert "hits         : 1" in out
+        assert "misses       : 1" in out
+        code, out, _ = run_cli("cache", "stats", "--cache", store, "--json")
+        stats = json.loads(out)
+        assert stats["entries"] == 1 and stats["hits"] == 1
+
+    def test_cache_prune(self, tmp_path):
+        store = str(tmp_path / "store")
+        run_cli("run", "fig3", "--json", "-", "--cache", store)
+        code, out, _ = run_cli("cache", "prune", "--cache", store)
+        assert code == 0
+        assert "pruned 1 entry" in out
+
+    def test_sweep_jobs_matches_serial_output(self):
+        argv = ("sweep", "--engine", "immunity",
+                "--axis", "technique=vulnerable,compact",
+                "--trials", "15", "--seed", "7", "--json", "-")
+        _, serial, _ = run_cli(*argv)
+        _, sharded, _ = run_cli(*argv, "--jobs", "2", "--backend", "thread")
+        assert json.loads(serial)["payload"] == json.loads(sharded)["payload"]
+
+    def test_batch_command_dedups_and_hits(self, tmp_path):
+        manifest = tmp_path / "manifest.json"
+        manifest.write_text(json.dumps([
+            {"study": "fig3"},
+            {"study": "fig3"},
+        ]))
+        store = str(tmp_path / "store")
+        code, out, _ = run_cli("batch", str(manifest), "--cache", store)
+        assert code == 0
+        assert "dedup" in out and "miss" in out
+        code, out, _ = run_cli("batch", str(manifest), "--cache", store)
+        assert code == 0
+        assert "1 hits" in out
+        code, out, _ = run_cli("batch", str(manifest), "--cache", store,
+                               "--json", "-")
+        document = json.loads(out)
+        assert document["study"] == "manifest"
+
+    def test_batch_missing_manifest_fails_cleanly(self, tmp_path):
+        code, _, err = run_cli("batch", str(tmp_path / "absent.json"))
+        assert code == 2
+        assert err.startswith("error: ")
 
 
 class TestSweepCommand:
