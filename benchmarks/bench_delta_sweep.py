@@ -1,0 +1,183 @@
+"""Delta-only sweep recompute against the persistent corner store.
+
+Acceptance benchmark for PR 6 (corner-level content addressing): after a
+cold 64-corner sweep has populated the store, re-running the sweep with
+one axis value appended must
+
+* execute **only the new corner** (proved by counting engine
+  invocations, not by timing), and
+* beat the cold full sweep by at least ``REQUIRED_DELTA_SPEEDUP`` — the
+  63 cached corners are pure JSON reads.
+
+Run under pytest-benchmark (``pytest benchmarks/bench_delta_sweep.py``)
+or standalone to (re)generate the checked-in perf snapshot::
+
+    python benchmarks/bench_delta_sweep.py            # writes BENCH_runtime.json
+    python benchmarks/bench_delta_sweep.py --smoke    # small grid, no floor
+"""
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import repro.immunity.montecarlo as montecarlo
+from repro.runtime import ResultCache
+from repro.study import SweepSpec, run_sweep_study
+
+#: One 64-value axis; every canonical predecessor axis stays a singleton,
+#: so appending a 65th value leaves the existing corners' spawned seeds —
+#: and therefore their content addresses — untouched.
+CORNERS = 64
+TRIALS = 150
+SEED = 2009
+
+#: Required cold-vs-delta advantage at 64+ corners: recomputing 1 corner
+#: plus reading 64 envelopes must be far cheaper than 64 Monte Carlo
+#: corners.
+REQUIRED_DELTA_SPEEDUP = 5.0
+
+
+def _specs(corners):
+    angles = tuple(1.0 + 0.5 * index for index in range(corners))
+    base = SweepSpec.from_mapping({"max_angle_deg": angles})
+    wider = SweepSpec.from_mapping({"max_angle_deg": angles + (89.0,)})
+    return base, wider
+
+
+def run_delta_scenario(cache_dir, corners=CORNERS, trials=TRIALS,
+                       timer=None):
+    """Cold full sweep, then the one-value-extended delta re-run.
+
+    Counts engine invocations by wrapping the per-corner Monte Carlo
+    entry point, so "only the new corner executed" is a hard fact, not a
+    timing inference.  ``timer(fn) -> (result, seconds)`` lets the
+    pytest-benchmark path own the delta measurement.
+    """
+    base, wider = _specs(corners)
+    sweep = dict(engine="immunity", trials=trials, seed=SEED)
+    store = ResultCache(cache_dir)
+
+    calls = []
+    real = montecarlo.run_immunity_trials
+
+    def counting(*args, **kwargs):
+        calls.append(1)
+        return real(*args, **kwargs)
+
+    if timer is None:
+        def timer(fn):
+            start = time.perf_counter()
+            result = fn()
+            return result, time.perf_counter() - start
+
+    montecarlo.run_immunity_trials = counting
+    try:
+        cold, cold_seconds = timer(
+            lambda: run_sweep_study(base, cache=store, **sweep))
+        cold_calls, calls[:] = len(calls), ()
+        delta, delta_seconds = timer(
+            lambda: run_sweep_study(wider, cache=store, **sweep))
+        delta_calls = len(calls)
+    finally:
+        montecarlo.run_immunity_trials = real
+
+    return {
+        "benchmark": "delta_sweep",
+        "engine": "immunity",
+        "trials": trials,
+        "corners_cold": corners,
+        "corners_delta_total": corners + 1,
+        "corners_cold_executed": cold_calls,
+        "corners_delta_executed": delta_calls,
+        "cold_status": cold.provenance.cache,
+        "delta_status": delta.provenance.cache,
+        "cold_seconds": round(cold_seconds, 4),
+        "delta_seconds": round(delta_seconds, 4),
+        "ns_per_corner_cold": round(cold_seconds / corners * 1e9),
+        "ns_per_corner_delta": round(delta_seconds / (corners + 1) * 1e9),
+        "delta_speedup": round(cold_seconds / delta_seconds, 2),
+    }
+
+
+def check_delta_contract(report, enforce_floor=True):
+    """The hard assertions shared by pytest and standalone runs."""
+    assert report["cold_status"] == "miss"
+    assert report["corners_cold_executed"] == report["corners_cold"]
+    assert report["corners_delta_executed"] == 1, report
+    expected = (f"partial:{report['corners_cold']}/"
+                f"{report['corners_delta_total']}")
+    assert report["delta_status"] == expected, report
+    if enforce_floor and report["corners_cold"] >= 64:
+        assert report["delta_speedup"] >= REQUIRED_DELTA_SPEEDUP, report
+
+
+def test_delta_rerun_executes_only_the_new_corner(benchmark, tmp_path):
+    """64-corner cold sweep, +1 value: 1 engine call, >=5x faster."""
+    from conftest import record
+
+    measured = {}
+
+    def timed(fn):
+        start = time.perf_counter()
+        result = fn()
+        return result, time.perf_counter() - start
+
+    def delta_timer(fn):
+        result = benchmark.pedantic(fn, iterations=1, rounds=1)
+        return result, benchmark.stats.stats.mean
+
+    # The cold sweep is plain timing; the delta re-run is the benchmark.
+    state = {"first": True}
+
+    def timer(fn):
+        if state.pop("first", None):
+            return timed(fn)
+        return delta_timer(fn)
+
+    report = run_delta_scenario(tmp_path / "store", timer=timer)
+    measured.update(report)
+    measured.pop("benchmark", None)    # collides with the fixture arg
+    record(benchmark, **measured)
+    print()
+    print(f"{report['corners_cold']} corners cold "
+          f"{report['cold_seconds']:.2f}s, +1 corner delta "
+          f"{report['delta_seconds']:.3f}s -> "
+          f"{report['delta_speedup']:.1f}x "
+          f"({report['corners_delta_executed']} engine call)")
+    check_delta_contract(report)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--corners", type=int, default=CORNERS)
+    parser.add_argument("--trials", type=int, default=TRIALS)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small grid, skip the speedup floor "
+                             "(CI smoke)")
+    parser.add_argument("--out", default=None,
+                        help="snapshot path (default: repo-root "
+                             "BENCH_runtime.json; '-' to skip)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.corners, args.trials = 8, 40
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as scratch:
+        report = run_delta_scenario(Path(scratch) / "store",
+                                    corners=args.corners,
+                                    trials=args.trials)
+    check_delta_contract(report, enforce_floor=not args.smoke)
+    rendered = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    print(rendered, end="")
+    if args.out != "-":
+        target = Path(args.out) if args.out else (
+            Path(__file__).resolve().parent.parent / "BENCH_runtime.json")
+        target.write_text(rendered, encoding="utf-8")
+        print(f"wrote {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -393,6 +393,76 @@ def _measure_case(result: TransientResult, pin: str, vdd: float) -> Tuple[float,
     return out_rise - in_fall, out_fall - in_rise, result.supply_energy
 
 
+def _grid_estimates(
+    gate: GateNetworks,
+    drive_strengths: Sequence[float],
+    load_capacitances_f: Sequence[float],
+    input_slews_s: Sequence[float],
+    corners: Mapping[str, TechnologyConfig],
+    unit_width: float,
+) -> List[float]:
+    """Analytical delay estimates over one cell's full grid, flat in
+    ``itertools.product`` order over ``(drive, load, slew, corner)``."""
+    return [
+        max(characterize_gate(
+            gate, tech, unit_width=unit_width, drive_strength=drive
+        ).stage_delay(load), 1.0e-13)
+        for drive, load, slew, (corner_name, tech) in itertools.product(
+            drive_strengths, load_capacitances_f, input_slews_s,
+            corners.items()
+        )
+    ]
+
+
+def _time_base(estimates: Sequence[float],
+               input_slews_s: Sequence[float]) -> Tuple[float, float, float, float]:
+    """``(delay, width, stop, time_step)`` shared by a whole grid.
+
+    The pulse must be slow enough for the laziest corner and sampled
+    finely enough for the snappiest one.
+    """
+    slowest = max(estimates)
+    max_slew = max(input_slews_s)
+    delay = max(6.0 * slowest, 2.0 * max_slew)
+    width = max(10.0 * slowest, 4.0 * max_slew)
+    stop = delay + 2.0 * max_slew + width + max(10.0 * slowest, 2.0 * max_slew)
+    time_step = max(min(min(estimates) / 20.0, min(input_slews_s) / 4.0),
+                    stop / 8000.0, 1.0e-14)
+    return delay, width, stop, time_step
+
+
+def grid_time_base(
+    gate_name: str,
+    drive_strengths: Sequence[float],
+    load_capacitances_f: Sequence[float],
+    input_slews_s: Sequence[float],
+    corners: Mapping[str, TechnologyConfig],
+    unit_width: float = 4.0,
+    switched_pin: Optional[str] = None,
+) -> Tuple[str, float, float, float, float]:
+    """The shared time base one cell's grid would be integrated on:
+    ``(switched pin, pulse delay, pulse width, stop time, time step)``.
+
+    This is exactly the planning arithmetic of :func:`characterize_sweep`
+    / :func:`characterize_cases` — analytical, no netlists built — exposed
+    so callers can *address* a grid's waveform context without paying for
+    simulation.  The runtime layer hashes it into per-corner cache
+    fingerprints: a point's measured waveform depends on the whole grid
+    through this time base, so two grids may share a corner's results iff
+    they agree on it.
+    """
+    from ..logic.functions import standard_gate
+
+    gate = standard_gate(gate_name)
+    pin = switched_pin or gate.inputs[0]
+    estimates = _grid_estimates(gate, drive_strengths, load_capacitances_f,
+                                input_slews_s, corners, unit_width)
+    if not estimates:
+        raise CharacterizationError("grid_time_base needs non-empty axes")
+    delay, width, stop, time_step = _time_base(estimates, input_slews_s)
+    return pin, delay, width, stop, time_step
+
+
 def _plan_cell_cases(
     gate_name: str,
     drive_strengths: Sequence[float],
@@ -406,10 +476,12 @@ def _plan_cell_cases(
     simulation cases sharing one deterministic time base.
 
     The time base (pulse timing, stop time, step) is derived from the
-    analytical delay estimates of the **whole** grid, so any caller that
-    plans the same grid — even to integrate only a subset of its cases —
-    lands on bit-identical waveforms.  That invariant is what lets the
-    runtime scheduler shard a characterisation sweep across workers
+    analytical delay estimates of the **whole** grid
+    (:func:`_grid_estimates` + :func:`_time_base` — the same arithmetic
+    :func:`grid_time_base` exposes), so any caller that plans the same
+    grid — even to integrate only a subset of its cases — lands on
+    bit-identical waveforms.  That invariant is what lets the runtime
+    scheduler shard a characterisation sweep across workers
     (:func:`characterize_cases`) without perturbing results.
 
     Returns ``(gate, pin, labels, cases, stop_time, time_step)`` with
@@ -423,7 +495,6 @@ def _plan_cell_cases(
     sides = sensitizing_assignment(gate, pin)
 
     staged: List[Tuple[TransistorNetlist, float, float]] = []
-    estimates: List[float] = []
     labels: List[Tuple[float, float, float, str, float]] = []
     for drive, load, slew, (corner_name, tech) in itertools.product(
         drive_strengths, load_capacitances_f, input_slews_s, corners.items()
@@ -432,22 +503,12 @@ def _plan_cell_cases(
             gate, tech, unit_width=unit_width, drive_strength=drive,
             load_capacitance=load,
         )
-        model = characterize_gate(
-            gate, tech, unit_width=unit_width, drive_strength=drive
-        )
-        estimates.append(max(model.stage_delay(load), 1.0e-13))
         labels.append((drive, load, slew, corner_name, tech.vdd))
         staged.append((netlist, tech.vdd, slew))
 
-    # Shared time base: the pulse must be slow enough for the laziest
-    # corner and sampled finely enough for the snappiest one.
-    slowest = max(estimates)
-    max_slew = max(input_slews_s)
-    delay = max(6.0 * slowest, 2.0 * max_slew)
-    width = max(10.0 * slowest, 4.0 * max_slew)
-    stop = delay + 2.0 * max_slew + width + max(10.0 * slowest, 2.0 * max_slew)
-    time_step = max(min(min(estimates) / 20.0, min(input_slews_s) / 4.0),
-                    stop / 8000.0, 1.0e-14)
+    estimates = _grid_estimates(gate, drive_strengths, load_capacitances_f,
+                                input_slews_s, corners, unit_width)
+    delay, width, stop, time_step = _time_base(estimates, input_slews_s)
 
     built: List[SimulationCase] = []
     for netlist, vdd, slew in staged:

@@ -13,10 +13,14 @@ study three service-shaped properties:
   the full-grid time base;
 * **one cache** (:mod:`~repro.runtime.cache` +
   :mod:`~repro.runtime.fingerprint`) — a content-addressed on-disk store
-  of serialized :class:`~repro.study.results.StudyResult` envelopes,
-  keyed by a stable hash of (study, params, seed, spec, engine, package
-  version).  Warm re-runs skip the engines entirely; provenance records
-  ``cache="hit"`` / ``"miss"``;
+  at two granularities: serialized
+  :class:`~repro.study.results.StudyResult` envelopes keyed by a stable
+  hash of (study, params, seed, spec, engine, package version), and
+  per-corner metric envelopes keyed by each corner's resolved binding,
+  spawned seed and shared-state context.  Warm re-runs skip the engines
+  entirely; *changed* sweeps execute only the corners the store lacks
+  (the delta path); provenance records ``cache="hit"`` / ``"miss"`` /
+  ``"partial:<hits>/<corners>"``;
 * **one batch runner** (:mod:`~repro.runtime.manifest`) — ``repro batch
   manifest.json`` executes a list of studies with cross-study dedup
   through the cache.
@@ -28,6 +32,7 @@ acyclic.
 
 from .cache import (
     CACHE_SCHEMA,
+    CORNER_SCHEMA,
     CacheStats,
     DEFAULT_CACHE_DIR,
     ENV_CACHE_DIR,
@@ -35,10 +40,17 @@ from .cache import (
     as_cache,
     with_cache_status,
 )
-from .fingerprint import EXECUTION_PARAMS, study_fingerprint, sweep_fingerprint
+from .fingerprint import (
+    EXECUTION_PARAMS,
+    corner_fingerprint,
+    study_fingerprint,
+    sweep_fingerprint,
+)
 from .manifest import ManifestEntry, ManifestOutcome, ManifestResult, run_manifest
 from .scheduler import (
     BACKENDS,
+    DeltaPlan,
+    plan_delta,
     plan_shards,
     resolve_backend,
     resolve_jobs,
@@ -49,8 +61,10 @@ from .scheduler import (
 __all__ = [
     "BACKENDS",
     "CACHE_SCHEMA",
+    "CORNER_SCHEMA",
     "CacheStats",
     "DEFAULT_CACHE_DIR",
+    "DeltaPlan",
     "ENV_CACHE_DIR",
     "EXECUTION_PARAMS",
     "ManifestEntry",
@@ -58,6 +72,8 @@ __all__ = [
     "ManifestResult",
     "ResultCache",
     "as_cache",
+    "corner_fingerprint",
+    "plan_delta",
     "plan_shards",
     "resolve_backend",
     "resolve_jobs",

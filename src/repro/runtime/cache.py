@@ -1,19 +1,32 @@
 """The content-addressed on-disk result store.
 
-Every entry is one serialized :class:`~repro.study.results.StudyResult`
-envelope filed under the :mod:`~repro.runtime.fingerprint` of the
-invocation that produced it::
+Two granularities share one store root:
+
+* **Study entries** — one serialized
+  :class:`~repro.study.results.StudyResult` envelope filed under the
+  :mod:`~repro.runtime.fingerprint` of the invocation that produced it.
+* **Corner entries** — one tagged-JSON metrics payload per evaluated
+  sweep corner, filed under its
+  :func:`~repro.runtime.fingerprint.corner_fingerprint`.  These are what
+  make sweep re-runs *incremental*: extending an axis only recomputes
+  the corners whose addresses are absent
+  (:func:`~repro.study.sweeps.run_sweep_study`).
+
+::
 
     <root>/
-      objects/<key[:2]>/<key>.json     one cache entry per fingerprint
+      objects/<key[:2]>/<key>.json     one study entry per fingerprint
+      corners/<key[:2]>/<key>.json     one corner envelope per fingerprint
       stats.json                       cumulative hit/miss/corrupt counters
+                                       (study- and corner-level)
 
-Entry files wrap the result envelope in a small integrity document
-(``repro-cache-entry/v1``) carrying the fingerprint and a SHA-256 digest
-of the canonical envelope text.  Reads re-validate both; anything that
-fails — truncated JSON, digest mismatch, foreign fingerprint — is
-treated as a miss, counted as *corrupt*, and evicted, so a damaged store
-degrades to recomputation instead of wrong answers.
+Entry files wrap their payload in a small integrity document
+(``repro-cache-entry/v1`` / ``repro-corner-entry/v1``) carrying the
+fingerprint and a SHA-256 digest of the canonical payload text.  Reads
+re-validate both; anything that fails — truncated JSON, digest mismatch,
+foreign fingerprint — is treated as a miss, counted as *corrupt*, and
+evicted, so a damaged store degrades to recomputation instead of wrong
+answers.
 
 Writes are atomic (temp file + ``os.replace`` in the same directory), so
 concurrent writers and readers — the scheduler's whole point — never
@@ -34,13 +47,16 @@ import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, Optional, Sequence, Tuple, Union
 
 from ..errors import CacheError
 from ..study.results import StudyResult
 
 #: Version tag of the on-disk cache entry wrapper.
 CACHE_SCHEMA = "repro-cache-entry/v1"
+
+#: Version tag of the on-disk per-corner envelope wrapper.
+CORNER_SCHEMA = "repro-corner-entry/v1"
 
 #: Environment variable naming the default cache directory.
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
@@ -63,6 +79,11 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     corrupt: int = 0
+    corner_entries: int = 0
+    corner_bytes: int = 0
+    corner_hits: int = 0
+    corner_misses: int = 0
+    corner_corrupt: int = 0
 
     def __str__(self) -> str:
         lines = [
@@ -75,6 +96,13 @@ class CacheStats:
         ]
         for study in sorted(self.by_study):
             lines.append(f"  {study:<12}: {self.by_study[study]}")
+        lines += [
+            f"corner entries : {self.corner_entries}",
+            f"corner bytes   : {self.corner_bytes}",
+            f"corner hits    : {self.corner_hits}",
+            f"corner misses  : {self.corner_misses}",
+            f"corner corrupt : {self.corner_corrupt}",
+        ]
         return "\n".join(lines)
 
     def as_dict(self) -> Dict[str, Any]:
@@ -86,6 +114,11 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "corrupt": self.corrupt,
+            "corner_entries": self.corner_entries,
+            "corner_bytes": self.corner_bytes,
+            "corner_hits": self.corner_hits,
+            "corner_misses": self.corner_misses,
+            "corner_corrupt": self.corner_corrupt,
         }
 
 
@@ -139,19 +172,40 @@ class ResultCache:
         return self.root / "objects"
 
     @property
+    def _corners(self) -> Path:
+        return self.root / "corners"
+
+    @property
     def _stats_path(self) -> Path:
         return self.root / "stats.json"
 
     def path_for(self, key: str) -> Path:
-        """Where the entry for ``key`` lives (whether or not it exists)."""
+        """Where the study entry for ``key`` lives (whether or not it
+        exists)."""
+        return self._keyed_path(self._objects, key)
+
+    def corner_path_for(self, key: str) -> Path:
+        """Where the corner envelope for ``key`` lives (whether or not it
+        exists)."""
+        return self._keyed_path(self._corners, key)
+
+    @staticmethod
+    def _keyed_path(tree: Path, key: str) -> Path:
         if not key or any(c not in "0123456789abcdef" for c in key):
             raise CacheError(f"Malformed cache key {key!r}")
-        return self._objects / key[:2] / f"{key}.json"
+        return tree / key[:2] / f"{key}.json"
 
     def _entries(self) -> Iterator[Path]:
-        if not self._objects.is_dir():
+        yield from self._tree_entries(self._objects)
+
+    def _corner_entries(self) -> Iterator[Path]:
+        yield from self._tree_entries(self._corners)
+
+    @staticmethod
+    def _tree_entries(tree: Path) -> Iterator[Path]:
+        if not tree.is_dir():
             return
-        for shard in sorted(self._objects.iterdir()):
+        for shard in sorted(tree.iterdir()):
             if shard.is_dir():
                 yield from sorted(shard.glob("*.json"))
 
@@ -173,7 +227,9 @@ class ResultCache:
                 pass
             raise
 
-    def _bump(self, hits: int = 0, misses: int = 0, corrupt: int = 0) -> None:
+    def _bump(self, hits: int = 0, misses: int = 0, corrupt: int = 0,
+              corner_hits: int = 0, corner_misses: int = 0,
+              corner_corrupt: int = 0) -> None:
         """Fold counter deltas into ``stats.json``.  Strictly best-effort:
         counters are telemetry, so an unwritable store (read-only mount,
         foreign ownership) must never turn a valid hit into a failure —
@@ -183,6 +239,9 @@ class ResultCache:
         counters["hits"] += hits
         counters["misses"] += misses
         counters["corrupt"] += corrupt
+        counters["corner_hits"] += corner_hits
+        counters["corner_misses"] += corner_misses
+        counters["corner_corrupt"] += corner_corrupt
         counters["updated"] = time.time()
         try:
             self._write_atomic(self._stats_path, json.dumps(counters))
@@ -199,6 +258,9 @@ class ResultCache:
             "hits": int(raw.get("hits", 0)),
             "misses": int(raw.get("misses", 0)),
             "corrupt": int(raw.get("corrupt", 0)),
+            "corner_hits": int(raw.get("corner_hits", 0)),
+            "corner_misses": int(raw.get("corner_misses", 0)),
+            "corner_corrupt": int(raw.get("corner_corrupt", 0)),
         }
 
     # -- the store API ---------------------------------------------------------
@@ -274,11 +336,123 @@ class ResultCache:
             ) from error
         return path
 
+    # -- the corner store ------------------------------------------------------
+
+    def get_corner(self, key: str) -> Optional[Any]:
+        """The stored metrics payload for one corner fingerprint, or
+        ``None`` (a miss).
+
+        The integrity discipline mirrors the study store: schema tag,
+        fingerprint and SHA-256 digest are re-validated on every read, and
+        anything that fails — including a digest-valid payload that no
+        longer decodes — is evicted and counted as corner-corrupt.
+        """
+        value, corrupt = self._read_corner(key)
+        if value is None:
+            self._bump(corner_misses=1, corner_corrupt=1 if corrupt else 0)
+        else:
+            self._bump(corner_hits=1)
+        return value
+
+    def _read_corner(self, key: str) -> Tuple[Optional[Any], bool]:
+        """``(decoded payload or None, corrupt)`` — validates, decodes
+        and evicts, but never touches the counters."""
+        from ..study.serialize import decode
+
+        path = self.corner_path_for(key)
+        payload, corrupt = self._load_corner(path, key)
+        value = None
+        if payload is not None:
+            try:
+                value = decode(payload)
+            except Exception:
+                corrupt = True
+        if value is None and corrupt:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        return value, corrupt
+
+    def _load_corner(self, path: Path,
+                     key: str) -> Tuple[Optional[Any], bool]:
+        """``(payload, corrupt)`` — the validated encoded payload, or
+        ``(None, False)`` for absent and ``(None, True)`` for damaged."""
+        try:
+            with open(path, "r", encoding="utf-8") as stream:
+                wrapper = json.load(stream)
+        except FileNotFoundError:
+            return None, False
+        except (OSError, json.JSONDecodeError):
+            return None, True
+        if not isinstance(wrapper, dict):
+            return None, True
+        payload = wrapper.get("payload")
+        if (wrapper.get("schema") != CORNER_SCHEMA
+                or wrapper.get("fingerprint") != key
+                or payload is None
+                or wrapper.get("sha256") != _envelope_digest(payload)):
+            return None, True
+        return payload, False
+
+    def get_corners(self, keys: Sequence[str]) -> Dict[str, Any]:
+        """Bulk :meth:`get_corner`: ``{key: payload}`` for every key that
+        validated, with the hit/miss/corrupt counters folded in as **one**
+        stats write (a sweep diffs hundreds of corners per run)."""
+        found: Dict[str, Any] = {}
+        missing: set = set()
+        hits = misses = corrupt = 0
+        for key in keys:
+            if key in found:
+                hits += 1
+                continue
+            if key in missing:
+                misses += 1
+                continue
+            value, was_corrupt = self._read_corner(key)
+            if value is None:
+                misses += 1
+                corrupt += 1 if was_corrupt else 0
+                missing.add(key)
+            else:
+                found[key] = value
+                hits += 1
+        self._bump(corner_hits=hits, corner_misses=misses,
+                   corner_corrupt=corrupt)
+        return found
+
+    def put_corner(self, key: str, metrics: Any,
+                   engine: str = "") -> Path:
+        """Persist one corner's metrics payload under its fingerprint
+        atomically; returns the entry path.  Counter-neutral, like
+        :meth:`put`."""
+        from ..study.serialize import encode
+
+        payload = encode(metrics)
+        wrapper = {
+            "schema": CORNER_SCHEMA,
+            "fingerprint": key,
+            "study": "corner",
+            "engine": engine,
+            "sha256": _envelope_digest(payload),
+            "created": time.time(),
+            "payload": payload,
+        }
+        path = self.corner_path_for(key)
+        try:
+            self._write_atomic(path, json.dumps(wrapper, sort_keys=True))
+        except OSError as error:
+            raise CacheError(
+                f"Cannot write corner entry {path}: {error}"
+            ) from error
+        return path
+
     # -- maintenance -----------------------------------------------------------
 
     def stats(self) -> CacheStats:
-        """Scan the store: entry counts, bytes, per-study breakdown, plus
-        the cumulative hit/miss/corrupt counters."""
+        """Scan the store: entry counts, bytes, per-study breakdown (study
+        entries) and corner-store totals, plus the cumulative
+        hit/miss/corrupt counters of both granularities."""
         entries = 0
         total_bytes = 0
         by_study: Dict[str, int] = {}
@@ -291,33 +465,82 @@ class ResultCache:
             except (OSError, json.JSONDecodeError):
                 study = "?"
             by_study[study] = by_study.get(study, 0) + 1
+        corner_entries = 0
+        corner_bytes = 0
+        for path in self._corner_entries():
+            corner_entries += 1
+            try:
+                corner_bytes += path.stat().st_size
+            except OSError:
+                pass
         counters = self._counters()
         return CacheStats(
             root=str(self.root),
             entries=entries,
             total_bytes=total_bytes,
             by_study=by_study,
+            corner_entries=corner_entries,
+            corner_bytes=corner_bytes,
             **counters,
         )
 
-    def prune(self, study: Optional[str] = None) -> int:
-        """Delete entries (all of them, or only one study's); returns the
-        number removed.  Counters survive pruning."""
+    def prune(self, study: Optional[str] = None,
+              max_age_s: Optional[float] = None,
+              max_entries: Optional[int] = None) -> int:
+        """Delete entries; returns the number removed.
+
+        With no bounds this clears everything (optionally one study's
+        entries — corner envelopes carry the pseudo-study ``"corner"``).
+        ``max_age_s`` keeps only entries written within the last that many
+        seconds; ``max_entries`` keeps only the newest that many entries
+        per granularity (study entries and corner envelopes are bounded
+        independently — they have very different cardinalities).  Both
+        bounds respect the ``study`` filter and compose: an entry is
+        removed if *either* bound says so.  Counters survive pruning.
+        """
+        if max_age_s is not None and max_age_s < 0:
+            raise CacheError(f"max_age_s must be >= 0, got {max_age_s!r}")
+        if max_entries is not None and max_entries < 0:
+            raise CacheError(f"max_entries must be >= 0, got {max_entries!r}")
         removed = 0
-        for path in list(self._entries()):
-            if study is not None:
+        now = time.time()
+        for tree_paths in (list(self._entries()), list(self._corner_entries())):
+            candidates = []
+            for path in tree_paths:
                 try:
                     with open(path, "r", encoding="utf-8") as stream:
-                        entry_study = json.load(stream).get("study")
-                except (OSError, json.JSONDecodeError):
-                    entry_study = None
-                if entry_study != study:
+                        wrapper = json.load(stream)
+                    entry_study = wrapper.get("study")
+                    created = float(wrapper.get("created") or 0.0)
+                except (OSError, json.JSONDecodeError, TypeError, ValueError):
+                    # Unreadable entries are prunable regardless of the
+                    # study filter, and sort as infinitely old.
+                    entry_study, created = study, 0.0
+                if study is not None and entry_study != study:
                     continue
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
+                candidates.append((created, str(path), path))
+            doomed = set()
+            if max_age_s is None and max_entries is None:
+                doomed.update(path for _, _, path in candidates)
+            else:
+                if max_age_s is not None:
+                    cutoff = now - max_age_s
+                    doomed.update(path for created, _, path in candidates
+                                  if created < cutoff)
+                if max_entries is not None:
+                    survivors = sorted(
+                        (entry for entry in candidates
+                         if entry[2] not in doomed),
+                        reverse=True,
+                    )
+                    doomed.update(path for _, _, path
+                                  in survivors[max_entries:])
+            for path in doomed:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
         return removed
 
 
@@ -342,6 +565,7 @@ def as_cache(cache: CacheLike) -> Optional[ResultCache]:
 
 __all__ = [
     "CACHE_SCHEMA",
+    "CORNER_SCHEMA",
     "CacheLike",
     "CacheStats",
     "DEFAULT_CACHE_DIR",

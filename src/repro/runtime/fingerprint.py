@@ -42,6 +42,8 @@ from __future__ import annotations
 import hashlib
 from typing import Any, Dict, Mapping, Optional
 
+import numpy as np
+
 from ..study.results import RESULT_SCHEMA, _normalize_seeds
 from ..study.serialize import canonical_json, config_hash
 
@@ -101,3 +103,78 @@ def sweep_fingerprint(spec: Any, engine: str, trials: int, seed: Any,
         engine=engine,
         spec=spec,
     )
+
+
+def _plain_scalars(value: Any) -> Any:
+    """Lower NumPy scalars to their Python equivalents, recursively.
+
+    Corner parameters arrive however the caller spelled the axis —
+    ``np.float64(0.9)`` from a ``linspace``, plain ``0.9`` from the CLI.
+    Both select the same corner, so both must hash to the same address.
+    (Arrays are left alone: the tagged encoder already canonicalises
+    them, and an array-valued parameter *is* a different value.)
+    """
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, dict):
+        return {key: _plain_scalars(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return type(value)(_plain_scalars(item) for item in value)
+    return value
+
+
+def corner_fingerprint(
+    engine: str,
+    params: Mapping[str, Any],
+    seed: Any = None,
+    trials: Optional[int] = None,
+    context: Any = None,
+) -> str:
+    """The content address of one evaluated sweep **corner**.
+
+    ``params`` is the corner's fully-resolved binding — every engine axis,
+    swept or fixed — so the address does not depend on *which* axes were
+    swept, only on the values this corner was evaluated at.  ``seed`` is
+    the corner's pre-spawned child :class:`~numpy.random.SeedSequence`
+    (immunity engine): it is spawned in the parent under the
+    ``_SWEEP_SPAWN_KEY`` contract, so hashing its *value* makes the
+    address independent of sharding while still forcing a recompute
+    whenever a grid reshape reassigns seeds.  ``context`` carries
+    engine-specific shared state the corner's result depends on beyond
+    its own parameters — for the transient engine, the per-cell shared
+    time base — so a grid extension that shifts that state correctly
+    misses.
+
+    Like :func:`study_fingerprint`, the address folds in
+    ``repro.__version__`` and the envelope config hash, and is
+    conservative: a spurious miss is possible, a wrong hit is not.
+
+    >>> corner_fingerprint("immunity", {"gate": "NAND2"}, trials=10) \\
+    ...     == corner_fingerprint("immunity", {"gate": "NAND2"}, trials=10)
+    True
+    >>> import numpy as np
+    >>> corner_fingerprint("transient", {"vdd": np.float64(0.9)}) \\
+    ...     == corner_fingerprint("transient", {"vdd": 0.9})
+    True
+    """
+    safe_params: Dict[str, Any] = {
+        key: _normalize_seeds(_plain_scalars(value))
+        for key, value in sorted(params.items())
+        if key not in EXECUTION_PARAMS
+    }
+    document = {
+        "kind": "sweep-corner",
+        "engine": engine,
+        "params": safe_params,
+        "trials": trials,
+        "seed": _normalize_seeds(seed) if seed is not None else None,
+        "context": _plain_scalars(context),
+        "version": _package_version(),
+        "config": config_hash(
+            {"kind": "sweep-corner", "engine": engine,
+             "params": safe_params, "schema": RESULT_SCHEMA}
+        ),
+    }
+    return hashlib.sha256(
+        canonical_json(document).encode("utf-8")
+    ).hexdigest()

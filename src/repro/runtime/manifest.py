@@ -23,8 +23,13 @@ invocation — identical study, parameters and seed, however many entries
 apart — reuses the in-process result (``dedup``), and with a ``cache``
 attached every computed result also lands in the content-addressed
 store, so a re-run of the whole manifest (or any other manifest sharing
-entries) is pure cache hits.  ``jobs`` fans each parallelizable entry
-out through the runtime scheduler.
+entries) is pure cache hits.  Sweep entries additionally dedup at
+**corner** granularity through the persistent corner store: two sweep
+entries whose grids merely *overlap* share the overlapping corners'
+results, and the later entry reports ``partial:<hits>/<corners>`` while
+executing only its genuinely new corners (see
+:func:`~repro.study.sweeps.run_sweep_study`).  ``jobs`` fans each
+parallelizable entry out through the runtime scheduler.
 """
 
 from __future__ import annotations
@@ -121,7 +126,7 @@ class ManifestOutcome:
     index: int
     study: str
     fingerprint: str
-    status: str                      # "computed" | "hit" | "miss" | "dedup"
+    status: str    # "computed" | "hit" | "miss" | "partial:<h>/<n>" | "dedup"
 
 
 @dataclass(frozen=True)
@@ -143,7 +148,14 @@ class ManifestResult(StudyResult):
     )
 
     def count(self, status: str) -> int:
-        return sum(1 for outcome in self.outcomes if outcome.status == status)
+        """Outcomes matching ``status`` exactly, or — for parameterised
+        statuses like the sweep driver's ``"partial:<hits>/<corners>"`` —
+        by their prefix (``count("partial")``)."""
+        return sum(
+            1 for outcome in self.outcomes
+            if outcome.status == status
+            or outcome.status.startswith(status + ":")
+        )
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -152,6 +164,7 @@ class ManifestResult(StudyResult):
             "computed": self.count("computed"),
             "hits": self.count("hit"),
             "misses": self.count("miss"),
+            "partial": self.count("partial"),
             "deduped": self.count("dedup"),
         }
 
@@ -174,7 +187,7 @@ class ManifestResult(StudyResult):
         lines.append(
             f"{len(self.outcomes)} entries: {self.count('computed')} computed, "
             f"{self.count('miss')} misses, {self.count('hit')} hits, "
-            f"{self.count('dedup')} deduped"
+            f"{self.count('partial')} partial, {self.count('dedup')} deduped"
         )
         return "\n".join(lines)
 

@@ -39,7 +39,9 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+from dataclasses import dataclass
+from typing import (AbstractSet, Callable, List, Optional, Sequence, Tuple,
+                    TypeVar)
 
 from ..errors import RuntimeLayerError
 
@@ -124,6 +126,59 @@ def shard_indices(n: int, shards: int) -> List[Tuple[int, int]]:
     return slices
 
 
+@dataclass(frozen=True)
+class DeltaPlan:
+    """Which corners of a sweep the store already holds, and which must
+    run: the scheduler's diff of a requested grid against the
+    content-addressed corner store.
+
+    ``keys[i]`` is corner ``i``'s fingerprint; ``hit_indices`` /
+    ``miss_indices`` partition ``range(len(keys))`` in corner order.  The
+    plan is pure data — executing the misses and merging is the sweep
+    driver's job — so it is deterministic in ``(keys, cached)`` alone.
+    """
+
+    keys: Tuple[str, ...]
+    hit_indices: Tuple[int, ...]
+    miss_indices: Tuple[int, ...]
+
+    @property
+    def total(self) -> int:
+        return len(self.keys)
+
+    @property
+    def hits(self) -> int:
+        return len(self.hit_indices)
+
+    @property
+    def misses(self) -> int:
+        return len(self.miss_indices)
+
+    @property
+    def status(self) -> str:
+        """The provenance ``cache`` annotation this plan earns: ``"hit"``
+        (everything served from the store), ``"miss"`` (nothing was), or
+        ``"partial:<hits>/<total>"``."""
+        if self.total and self.misses == 0:
+            return "hit"
+        if self.hits == 0:
+            return "miss"
+        return f"partial:{self.hits}/{self.total}"
+
+
+def plan_delta(keys: Sequence[str], cached: AbstractSet[str]) -> DeltaPlan:
+    """Partition per-corner fingerprints into store hits and misses.
+
+    >>> plan = plan_delta(["aa", "bb", "cc"], {"bb"})
+    >>> plan.hit_indices, plan.miss_indices, plan.status
+    ((1,), (0, 2), 'partial:1/3')
+    """
+    hit_indices = tuple(i for i, key in enumerate(keys) if key in cached)
+    miss_indices = tuple(i for i, key in enumerate(keys) if key not in cached)
+    return DeltaPlan(keys=tuple(keys), hit_indices=hit_indices,
+                     miss_indices=miss_indices)
+
+
 def plan_shards(n_tasks: int, jobs: Optional[int],
                 oversubscribe: int = 4) -> List[Tuple[int, int]]:
     """The shard plan for ``n_tasks`` units of work on ``jobs`` workers:
@@ -137,6 +192,8 @@ def plan_shards(n_tasks: int, jobs: Optional[int],
 
 __all__ = [
     "BACKENDS",
+    "DeltaPlan",
+    "plan_delta",
     "plan_shards",
     "resolve_backend",
     "resolve_jobs",

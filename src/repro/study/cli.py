@@ -14,6 +14,8 @@ Examples::
     python -m repro batch manifest.json --cache .repro-cache --jobs 4
     python -m repro cache stats --cache .repro-cache
     python -m repro cache prune --cache .repro-cache
+    python -m repro cache prune --cache .repro-cache --max-age 86400 \
+        --max-entries 512
 
 ``--json -`` streams the serialized result envelope (schema
 ``repro-study-result/v1``; see ``docs/repro_result.schema.json``) to
@@ -24,8 +26,12 @@ Runtime flags (``run``, ``sweep`` and ``batch``): ``--jobs N`` shards
 the work over the runtime scheduler (bit-identical to serial);
 ``--cache DIR`` consults and fills the content-addressed result store
 (also enabled store-wide by ``$REPRO_CACHE_DIR``; ``--no-cache`` turns
-it off).  When a cache is in play the hit/miss outcome is written to
-stderr and recorded in the result's provenance.
+it off).  With a cache attached, ``sweep`` is **incremental by
+default**: the requested grid is diffed against the persistent corner
+store and only missing corners execute, so extending an axis of an
+already-cached sweep costs O(delta), not O(grid).  The cache outcome
+(``hit`` / ``miss`` / ``partial:<hits>/<corners>``) is written to stderr
+and recorded in the result's provenance.
 """
 
 from __future__ import annotations
@@ -228,7 +234,18 @@ def _cmd_cache(args, stdout, stderr) -> int:
         else:
             stdout.write(str(stats) + "\n")
         return 0
-    removed = store.prune(study=args.study)
+    # Mirror _parse_assignment's discipline: malformed bounds become a
+    # one-line `error: ...` and exit code 2, never a traceback.
+    if args.max_age is not None and args.max_age < 0:
+        raise StudyError(
+            f"--max-age must be >= 0 seconds, got {args.max_age:g}"
+        )
+    if args.max_entries is not None and args.max_entries < 0:
+        raise StudyError(
+            f"--max-entries must be >= 0, got {args.max_entries}"
+        )
+    removed = store.prune(study=args.study, max_age_s=args.max_age,
+                          max_entries=args.max_entries)
     stdout.write(f"pruned {removed} entr{'y' if removed == 1 else 'ies'} "
                  f"from {store.root}\n")
     return 0
@@ -342,12 +359,23 @@ def build_parser() -> argparse.ArgumentParser:
                               help="emit the stats as JSON")
     stats_parser.set_defaults(handler=_cmd_cache)
     prune_parser = cache_sub.add_parser(
-        "prune", help="delete cache entries (all, or one study's)")
+        "prune", help="delete cache entries (all, one study's, or bounded "
+                      "by age / count)")
     prune_parser.add_argument("--cache", metavar="DIR", default=None,
                               help="store location (default: "
                                    "$REPRO_CACHE_DIR or .repro-cache)")
     prune_parser.add_argument("--study", default=None,
-                              help="only prune entries of this study")
+                              help="only prune entries of this study "
+                                   "(corner envelopes: 'corner')")
+    prune_parser.add_argument("--max-age", type=float, default=None,
+                              metavar="SECONDS",
+                              help="drop entries older than SECONDS "
+                                   "(default: no age bound)")
+    prune_parser.add_argument("--max-entries", type=int, default=None,
+                              metavar="N",
+                              help="keep only the N newest entries per "
+                                   "granularity (study entries and corner "
+                                   "envelopes bounded independently)")
     prune_parser.set_defaults(handler=_cmd_cache)
 
     return parser

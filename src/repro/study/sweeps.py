@@ -163,10 +163,15 @@ def run_sweep_study(spec: SweepSpec, engine: str = "immunity",
 
     ``cache`` plugs the content-addressed result store in (a
     :class:`~repro.runtime.cache.ResultCache`, a path, or ``True`` for
-    the default store): warm re-runs return the stored typed result
-    without touching the engines, and provenance records ``cache="hit"``
-    / ``"miss"``.  Scheduling parameters never enter the fingerprint or
-    provenance — they cannot change the result.
+    the default store) at **two granularities**: the whole-study envelope
+    (an exact re-run returns the stored typed result without touching the
+    engines) and the individual corner (a changed sweep is diffed against
+    the persistent corner store and **only the missing corners execute**
+    — the delta path that turns an axis-extension re-run from O(grid)
+    into O(delta)).  Either way the returned result is bit-identical to a
+    cold serial run, and provenance records ``cache="hit"`` / ``"miss"``
+    / ``"partial:<hits>/<corners>"``.  Scheduling parameters never enter
+    the fingerprints or provenance — they cannot change the result.
     """
     if not isinstance(spec, SweepSpec):
         raise StudyError(f"run_sweep_study needs a SweepSpec, got {type(spec).__name__}")
@@ -193,7 +198,13 @@ def run_sweep_study(spec: SweepSpec, engine: str = "immunity",
             return with_cache_status(cached, "hit")
 
     n_jobs = resolve_jobs(jobs)
-    if engine == "immunity":
+    status = None
+    if store is not None:
+        records, status = _run_sweep_delta(
+            spec, engine=engine, trials=trials, seed=seed, fixed=fixed,
+            store=store, jobs=n_jobs, backend=backend,
+        )
+    elif engine == "immunity":
         records = _run_immunity(spec, trials=trials, seed=seed, fixed=fixed,
                                 jobs=n_jobs, backend=backend)
     else:
@@ -212,8 +223,157 @@ def run_sweep_study(spec: SweepSpec, engine: str = "immunity",
     )
     if store is not None:
         store.put(key, result)
-        result = with_cache_status(result, "miss")
+        result = with_cache_status(result, status or "miss")
     return result
+
+
+# ---------------------------------------------------------------------------
+# Delta recompute over the persistent corner store
+# ---------------------------------------------------------------------------
+
+def _sweep_corner_keys(spec: SweepSpec, engine: str, trials: int, seed,
+                       fixed: Mapping[str, object]):
+    """``(keys, seeds)`` — one corner fingerprint per spec corner, in
+    corner order (``seeds`` is ``None`` for the transient engine).
+
+    The key hashes the corner's **fully-resolved** binding (every engine
+    axis, swept or fixed), so it is invariant under which axes the spec
+    declares, their declaration order, dict-key order and NumPy-vs-Python
+    scalar spellings — plus:
+
+    * **immunity**: the corner's pre-spawned child ``SeedSequence``
+      (value, not position) and the trial count.  Spawning follows the
+      serial paths exactly, so a grid extension that reassigns spawn
+      positions changes the hashed seed and correctly misses, while one
+      that preserves them (extending the gate axis, or any axis whose
+      canonical predecessors are singletons) keeps every old corner's
+      address stable.
+    * **transient**: the shared per-cell time base
+      (:func:`repro.cells.characterize.grid_time_base`) the corner's
+      waveform was integrated on.  A grid reshape that moves the time
+      base changes every affected address (recompute — exactly what
+      bit-identity demands); one that leaves the analytical envelope
+      alone keeps the stored corners valid.
+    """
+    from ..runtime.fingerprint import corner_fingerprint
+
+    corners = spec.corners()
+
+    if engine == "immunity":
+        constants = _fixed_values(IMMUNITY_AXES, spec, fixed, "immunity")
+
+        def value_of(corner, name):
+            return corner.get(name, constants.get(name))
+
+        seeds = _immunity_corner_seeds(spec, constants, seed)
+        keys = [
+            corner_fingerprint(
+                "immunity",
+                {name: value_of(corner, name) for name in IMMUNITY_AXES},
+                seed=child,
+                trials=trials,
+            )
+            for corner, child in zip(corners, seeds)
+        ]
+        return keys, seeds
+
+    from ..cells.characterize import cnfet_technology, grid_time_base
+
+    constants = _fixed_values(TRANSIENT_AXES, spec, fixed, "transient")
+
+    def value_of(corner, name):
+        return corner.get(name, constants.get(name))
+
+    contexts: List[Tuple[object, ...]] = []
+    if spec.mode == "grid":
+        # The whole per-cell grid shares one time base, so every corner of
+        # a cell carries the same context — computed once per cell.
+        drives = _axis_or_constant(spec, constants, "drive")
+        loads = _axis_or_constant(spec, constants, "load_f")
+        slews = _axis_or_constant(spec, constants, "slew_s")
+        vdds = _axis_or_constant(spec, constants, "vdd")
+        pitches = _axis_or_constant(spec, constants, "pitch_nm")
+        corner_techs = {
+            _corner_name(vdd, pitch): cnfet_technology(vdd=vdd, pitch_nm=pitch)
+            for vdd in vdds for pitch in pitches
+        }
+        by_cell: Dict[str, Tuple[object, ...]] = {}
+        for corner in corners:
+            cell = str(value_of(corner, "cell"))
+            if cell not in by_cell:
+                by_cell[cell] = grid_time_base(
+                    cell, drives, loads, slews, corner_techs,
+                )
+            contexts.append(by_cell[cell])
+    else:
+        # Zip corners are evaluated as their own one-point grids, so the
+        # context is each corner's private time base.
+        for corner in corners:
+            vdd = value_of(corner, "vdd")
+            pitch = value_of(corner, "pitch_nm")
+            contexts.append(grid_time_base(
+                str(value_of(corner, "cell")),
+                (value_of(corner, "drive"),),
+                (value_of(corner, "load_f"),),
+                (value_of(corner, "slew_s"),),
+                {_corner_name(vdd, pitch):
+                 cnfet_technology(vdd=vdd, pitch_nm=pitch)},
+            ))
+
+    keys = [
+        corner_fingerprint(
+            "transient",
+            {name: value_of(corner, name) for name in TRANSIENT_AXES},
+            context=context,
+        )
+        for corner, context in zip(corners, contexts)
+    ]
+    return keys, None
+
+
+def _run_sweep_delta(spec: SweepSpec, engine: str, trials: int, seed,
+                     fixed: Mapping[str, object], store,
+                     jobs: int, backend: Optional[str]):
+    """Diff the requested grid against the corner store, execute only the
+    missing corners, merge.  Returns ``(records, status)`` with records
+    bit-identical to a cold serial run."""
+    from ..runtime.scheduler import plan_delta
+
+    if engine == "immunity":
+        _validate_axes(spec, IMMUNITY_AXES, "immunity")
+    else:
+        _validate_axes(spec, TRANSIENT_AXES, "transient")
+
+    corners = spec.corners()
+    keys, seeds = _sweep_corner_keys(spec, engine, trials, seed, fixed)
+    cached = store.get_corners(keys)
+    plan = plan_delta(keys, set(cached))
+
+    metrics_by_index: Dict[int, Dict[str, Any]] = {
+        index: cached[keys[index]] for index in plan.hit_indices
+    }
+    if plan.miss_indices:
+        if engine == "immunity":
+            constants = _fixed_values(IMMUNITY_AXES, spec, fixed, "immunity")
+            fresh = _execute_immunity_corners(
+                spec, constants, plan.miss_indices, seeds, trials,
+                jobs, backend,
+            )
+        else:
+            constants = _fixed_values(TRANSIENT_AXES, spec, fixed,
+                                      "transient")
+            fresh = _execute_transient_corners(
+                spec, constants, plan.miss_indices, jobs, backend,
+            )
+        for index, metrics in zip(plan.miss_indices, fresh):
+            metrics_by_index[index] = metrics
+            store.put_corner(keys[index], metrics, engine=engine)
+
+    records = [
+        SweepRecord(corner=corner, metrics=metrics_by_index[index])
+        for index, corner in enumerate(corners)
+    ]
+    return records, plan.status
 
 
 # ---------------------------------------------------------------------------
@@ -314,36 +474,49 @@ def _run_immunity_shard(shard: _ImmunityShard) -> List[Dict[str, Any]]:
     return metrics
 
 
-def _run_immunity_sharded(spec: SweepSpec, trials: int, seed,
-                          constants: Mapping[str, object],
-                          jobs: int, backend: Optional[str]) -> List[SweepRecord]:
+def _execute_immunity_corners(spec: SweepSpec, constants: Mapping[str, object],
+                              indices: Sequence[int],
+                              seeds: Sequence[np.random.SeedSequence],
+                              trials: int, jobs: int,
+                              backend: Optional[str]) -> List[Dict[str, Any]]:
+    """Evaluate the corners at ``indices`` (with their pre-spawned seeds)
+    through the sharded immunity machinery; metrics in ``indices``
+    order."""
     from ..runtime.scheduler import plan_shards, run_tasks
 
     def value_of(corner, name):
         return corner.get(name, constants.get(name))
 
     corners = spec.corners()
-    seeds = _immunity_corner_seeds(spec, constants, seed)
+    selected = [corners[index] for index in indices]
+    selected_seeds = [seeds[index] for index in indices]
     resolved = [
         tuple((name, value_of(corner, name)) for name in IMMUNITY_AXES)
-        for corner in corners
+        for corner in selected
     ]
     shards = [
         _ImmunityShard(
-            corners=tuple(corners[start:stop]),
+            corners=tuple(selected[start:stop]),
             values=tuple(resolved[start:stop]),
-            seeds=tuple(seeds[start:stop]),
+            seeds=tuple(selected_seeds[start:stop]),
             trials=trials,
         )
-        for start, stop in plan_shards(len(corners), jobs)
+        for start, stop in plan_shards(len(selected), jobs)
     ]
     per_shard = run_tasks(_run_immunity_shard, shards, jobs=jobs,
                           backend=backend)
-    return [
-        SweepRecord(corner=corner, metrics=metrics)
-        for shard, shard_metrics in zip(shards, per_shard)
-        for corner, metrics in zip(shard.corners, shard_metrics)
-    ]
+    return [metrics for chunk in per_shard for metrics in chunk]
+
+
+def _run_immunity_sharded(spec: SweepSpec, trials: int, seed,
+                          constants: Mapping[str, object],
+                          jobs: int, backend: Optional[str]) -> List[SweepRecord]:
+    corners = spec.corners()
+    seeds = _immunity_corner_seeds(spec, constants, seed)
+    metrics = _execute_immunity_corners(spec, constants, range(len(corners)),
+                                        seeds, trials, jobs, backend)
+    return [SweepRecord(corner=corner, metrics=corner_metrics)
+            for corner, corner_metrics in zip(corners, metrics)]
 
 
 def _run_immunity(spec: SweepSpec, trials: int, seed,
@@ -501,14 +674,25 @@ def _run_transient_zip_shard(shard: _TransientZipShard) -> List[Dict[str, Any]]:
     return metrics
 
 
-def _run_transient_sharded(spec: SweepSpec, constants: Mapping[str, object],
-                           jobs: int, backend: Optional[str]) -> List[SweepRecord]:
+def _execute_transient_corners(spec: SweepSpec,
+                               constants: Mapping[str, object],
+                               indices: Sequence[int], jobs: int,
+                               backend: Optional[str]) -> List[Dict[str, Any]]:
+    """Evaluate the corners at ``indices`` through the sharded transient
+    machinery; metrics in ``indices`` order.
+
+    Grid-mode shards still re-plan the **full** per-cell grid and
+    integrate only their cases, so a subset run — a delta recompute as
+    much as a parallel shard — lands on the same shared time base and
+    bit-identical waveforms as the cold batch.
+    """
     from ..runtime.scheduler import plan_shards, run_tasks, shard_indices
 
     def value_of(corner, name):
         return corner.get(name, constants.get(name))
 
     corners_list = spec.corners()
+    selected = [corners_list[index] for index in indices]
 
     if spec.mode == "zip":
         shards = [
@@ -516,15 +700,13 @@ def _run_transient_sharded(spec: SweepSpec, constants: Mapping[str, object],
                 (str(value_of(c, "cell")), value_of(c, "drive"),
                  value_of(c, "load_f"), value_of(c, "slew_s"),
                  value_of(c, "vdd"), value_of(c, "pitch_nm"))
-                for c in corners_list[start:stop]
+                for c in selected[start:stop]
             ))
-            for start, stop in plan_shards(len(corners_list), jobs)
+            for start, stop in plan_shards(len(selected), jobs)
         ]
         per_shard = run_tasks(_run_transient_zip_shard, shards, jobs=jobs,
                               backend=backend)
-        flat = [metrics for chunk in per_shard for metrics in chunk]
-        return [SweepRecord(corner=corner, metrics=metrics)
-                for corner, metrics in zip(corners_list, flat)]
+        return [metrics for chunk in per_shard for metrics in chunk]
 
     drives = _axis_or_constant(spec, constants, "drive")
     loads = _axis_or_constant(spec, constants, "load_f")
@@ -533,10 +715,10 @@ def _run_transient_sharded(spec: SweepSpec, constants: Mapping[str, object],
     pitches = _axis_or_constant(spec, constants, "pitch_nm")
     corner_grid = tuple((vdd, pitch) for vdd in vdds for pitch in pitches)
 
-    # Spec corner -> (cell, flat index into the per-cell product grid),
-    # grouped by cell because the shared time base is per cell.
+    # Selected corner -> (cell, flat index into the per-cell product
+    # grid), grouped by cell because the shared time base is per cell.
     by_cell: Dict[str, List[Tuple[int, int]]] = {}
-    for index, corner in enumerate(corners_list):
+    for position, corner in enumerate(selected):
         cell = str(value_of(corner, "cell"))
         flat = np.ravel_multi_index(
             (
@@ -548,7 +730,7 @@ def _run_transient_sharded(spec: SweepSpec, constants: Mapping[str, object],
             ),
             (len(drives), len(loads), len(slews), len(corner_grid)),
         )
-        by_cell.setdefault(cell, []).append((index, int(flat)))
+        by_cell.setdefault(cell, []).append((position, int(flat)))
 
     tasks: List[_TransientGridShard] = []
     owners: List[List[int]] = []
@@ -564,15 +746,24 @@ def _run_transient_sharded(spec: SweepSpec, constants: Mapping[str, object],
                 drives=drives, loads=loads, slews=slews,
                 corner_grid=corner_grid,
             ))
-            owners.append([index for index, _ in chunk])
+            owners.append([position for position, _ in chunk])
     per_shard = run_tasks(_run_transient_grid_shard, tasks, jobs=jobs,
                           backend=backend)
-    records: List[Optional[SweepRecord]] = [None] * len(corners_list)
+    flat_metrics: List[Optional[Dict[str, Any]]] = [None] * len(selected)
     for owner, metrics_list in zip(owners, per_shard):
-        for index, metrics in zip(owner, metrics_list):
-            records[index] = SweepRecord(corner=corners_list[index],
-                                         metrics=metrics)
-    return records
+        for position, metrics in zip(owner, metrics_list):
+            flat_metrics[position] = metrics
+    return flat_metrics
+
+
+def _run_transient_sharded(spec: SweepSpec, constants: Mapping[str, object],
+                           jobs: int, backend: Optional[str]) -> List[SweepRecord]:
+    corners_list = spec.corners()
+    metrics = _execute_transient_corners(spec, constants,
+                                         range(len(corners_list)),
+                                         jobs, backend)
+    return [SweepRecord(corner=corner, metrics=corner_metrics)
+            for corner, corner_metrics in zip(corners_list, metrics)]
 
 
 def _run_transient(spec: SweepSpec,

@@ -215,6 +215,69 @@ class TestRuntimeFlags:
         assert code == 0
         assert "pruned 1 entry" in out
 
+    def test_incremental_sweep_is_the_default_with_a_cache(self, tmp_path):
+        store = str(tmp_path / "store")
+        base = ("sweep", "--engine", "immunity",
+                "--trials", "15", "--seed", "7", "--json", "-",
+                "--cache", store)
+        code, _, err = run_cli(*base, "--axis", "cnts_per_trial=2,4")
+        assert code == 0
+        assert "cache miss" in err
+        code, out, err = run_cli(*base, "--axis", "cnts_per_trial=2,4,8")
+        assert code == 0
+        assert "cache partial:2/3" in err
+        merged = json.loads(out)
+        merged["provenance"]["cache"] = None
+        code, cold, _ = run_cli(
+            "sweep", "--engine", "immunity", "--trials", "15",
+            "--seed", "7", "--json", "-",
+            "--axis", "cnts_per_trial=2,4,8")
+        assert code == 0
+        assert merged["payload"] == json.loads(cold)["payload"]
+
+    def test_cache_stats_reports_corner_counters(self, tmp_path):
+        store = str(tmp_path / "store")
+        run_cli("sweep", "--engine", "immunity",
+                "--axis", "cnts_per_trial=2,4",
+                "--trials", "15", "--seed", "7", "--json", "-",
+                "--cache", store)
+        code, out, _ = run_cli("cache", "stats", "--cache", store)
+        assert code == 0
+        assert "corner entries : 2" in out
+        assert "corner misses  : 2" in out
+        code, out, _ = run_cli("cache", "stats", "--cache", store, "--json")
+        stats = json.loads(out)
+        assert stats["corner_entries"] == 2
+        assert stats["corner_misses"] == 2
+
+    def test_cache_prune_bounds(self, tmp_path):
+        store = str(tmp_path / "store")
+        run_cli("sweep", "--engine", "immunity",
+                "--axis", "cnts_per_trial=2,4",
+                "--trials", "15", "--seed", "7", "--json", "-",
+                "--cache", store)
+        code, out, _ = run_cli("cache", "prune", "--cache", store,
+                               "--max-age", "3600")
+        assert code == 0
+        assert "pruned 0 entries" in out
+        code, out, _ = run_cli("cache", "prune", "--cache", store,
+                               "--max-entries", "1")
+        assert code == 0
+        assert "pruned 1 entry" in out     # 1 study kept, 1 of 2 corners cut
+        code, out, _ = run_cli("cache", "prune", "--cache", store,
+                               "--max-age", "0")
+        assert code == 0
+        assert "pruned 2 entries" in out
+
+    def test_cache_prune_rejects_negative_bounds(self, tmp_path):
+        store = str(tmp_path / "store")
+        for flag, value in (("--max-age", "-1"), ("--max-entries", "-5")):
+            code, _, err = run_cli("cache", "prune", "--cache", store,
+                                   flag, value)
+            assert code == 2
+            assert err.startswith("error:")
+            assert flag in err
+
     def test_sweep_jobs_matches_serial_output(self):
         argv = ("sweep", "--engine", "immunity",
                 "--axis", "technique=vulnerable,compact",
