@@ -23,7 +23,17 @@ The package is organised as:
 * :mod:`repro.runtime` — the runtime layer: the deterministic parallel
   scheduler (``jobs=``/``workers=`` everywhere lower onto one pool), the
   content-addressed on-disk result cache, and the ``repro batch``
-  manifest runner with cross-study dedup.
+  manifest runner with cross-study dedup;
+
+* :mod:`repro.lint` — reprolint, the dependency-free AST linter that
+  machine-checks the repo's determinism/seeding/runtime contracts
+  (``python -m repro.lint src``).
+
+The package root resolves its re-exports **lazily** (PEP 562): merely
+importing :mod:`repro` pulls in no NumPy and no engine code, so
+stdlib-only surfaces — ``python -m repro.lint`` above all — work in a
+bare interpreter.  ``from repro import run_study`` still works exactly
+as before; the submodule import simply happens at first attribute use.
 
 Quickstart::
 
@@ -56,64 +66,89 @@ Runtime layer::
     batch = run_manifest("manifest.json", cache=cache, jobs=4)
 """
 
-from .analysis import run_all, run_fig7_fo4, run_fulladder_case_study, run_table1
-from .cells import StandardCellLibrary, build_library
-from .circuit import cmos_inverter, cnfet_inverter, compare_fo4, fo4_metrics
-from .core import (
-    StandardCell,
-    assemble_cell,
-    baseline_network_layout,
-    compact_network_layout,
-    inverter_area_gain,
-    table1,
-    vulnerable_network_layout,
-)
-from .devices import CNFET, MOSFET, calibrated_cnfet_parameters, paper_anchors
+import importlib
+
 from .errors import ReproError, StudyError
-from .flow import CNFETDesignKit, full_adder_netlist, parse_structural_verilog
-from .immunity import compare_techniques, run_immunity_trials, sweep
-from .logic import GateNetworks, parse_expression, standard_gate
-from .runtime import ResultCache, run_manifest
-from .study import (
-    Corner,
-    Provenance,
-    StudyResult,
-    SweepSpec,
-    get_study,
-    list_studies,
-    parse_axis,
-    run_study,
-    run_sweep_study,
-)
-from .tech import CMOS_RULES, CNFET_RULES, cmos65_node, cnfet65_node
 
 __version__ = "0.2.0"
 
-__all__ = [
+#: Re-exported name -> the submodule that defines it.  Resolution is
+#: lazy (module ``__getattr__`` below), so ``import repro`` stays free
+#: of NumPy and engine code until a name is actually used.
+_EXPORTS = {
     # experiment runners (typed results)
-    "run_all", "run_fig7_fo4", "run_fulladder_case_study", "run_table1",
-    # the Study layer
-    "run_study", "list_studies", "get_study", "run_sweep_study",
-    "StudyResult", "Provenance", "SweepSpec", "Corner", "parse_axis",
-    # the runtime layer
-    "ResultCache", "run_manifest",
+    "run_all": ".analysis",
+    "run_fig7_fo4": ".analysis",
+    "run_fulladder_case_study": ".analysis",
+    "run_table1": ".analysis",
     # cells / circuit
-    "StandardCellLibrary", "build_library",
-    "cmos_inverter", "cnfet_inverter", "compare_fo4", "fo4_metrics",
+    "StandardCellLibrary": ".cells",
+    "build_library": ".cells",
+    "cmos_inverter": ".circuit",
+    "cnfet_inverter": ".circuit",
+    "compare_fo4": ".circuit",
+    "fo4_metrics": ".circuit",
     # core layouts
-    "StandardCell", "assemble_cell", "baseline_network_layout",
-    "compact_network_layout", "inverter_area_gain", "table1",
-    "vulnerable_network_layout",
+    "StandardCell": ".core",
+    "assemble_cell": ".core",
+    "baseline_network_layout": ".core",
+    "compact_network_layout": ".core",
+    "inverter_area_gain": ".core",
+    "table1": ".core",
+    "vulnerable_network_layout": ".core",
     # devices
-    "CNFET", "MOSFET", "calibrated_cnfet_parameters", "paper_anchors",
-    # errors
-    "ReproError", "StudyError",
+    "CNFET": ".devices",
+    "MOSFET": ".devices",
+    "calibrated_cnfet_parameters": ".devices",
+    "paper_anchors": ".devices",
     # flow
-    "CNFETDesignKit", "full_adder_netlist", "parse_structural_verilog",
+    "CNFETDesignKit": ".flow",
+    "full_adder_netlist": ".flow",
+    "parse_structural_verilog": ".flow",
     # immunity
-    "compare_techniques", "run_immunity_trials", "sweep",
-    # logic / tech
-    "GateNetworks", "parse_expression", "standard_gate",
-    "CNFET_RULES", "CMOS_RULES", "cnfet65_node", "cmos65_node",
-    "__version__",
-]
+    "compare_techniques": ".immunity",
+    "run_immunity_trials": ".immunity",
+    "sweep": ".immunity",
+    # logic
+    "GateNetworks": ".logic",
+    "parse_expression": ".logic",
+    "standard_gate": ".logic",
+    # the runtime layer
+    "ResultCache": ".runtime",
+    "run_manifest": ".runtime",
+    # the Study layer
+    "Corner": ".study",
+    "Provenance": ".study",
+    "StudyResult": ".study",
+    "SweepSpec": ".study",
+    "get_study": ".study",
+    "list_studies": ".study",
+    "parse_axis": ".study",
+    "run_study": ".study",
+    "run_sweep_study": ".study",
+    # tech
+    "CMOS_RULES": ".tech",
+    "CNFET_RULES": ".tech",
+    "cmos65_node": ".tech",
+    "cnfet65_node": ".tech",
+}
+
+__all__ = sorted(_EXPORTS) + ["ReproError", "StudyError", "__version__"]
+
+
+def __getattr__(name):
+    """PEP 562 lazy re-export: import the defining submodule on first use."""
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    module = importlib.import_module(module_name, __name__)
+    value = getattr(module, name)
+    globals()[name] = value          # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -113,6 +113,12 @@ class StudyError(ReproError):
     unserializable results, invalid CLI requests)."""
 
 
+class LintError(ReproError):
+    """Raised by the reprolint static-analysis pass for operational
+    failures (unknown rule ids, missing paths) — never for findings,
+    which are data, not exceptions."""
+
+
 class RuntimeLayerError(ReproError):
     """Raised by the runtime layer (scheduler misconfiguration, malformed
     manifests)."""

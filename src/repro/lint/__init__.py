@@ -1,0 +1,40 @@
+"""reprolint — the repo's invariants as a dependency-free AST linter.
+
+The determinism, seeding and runtime contracts this reproduction rests
+on (single scheduler, ``SeedLike`` spawning, execution-blind content
+addresses, atomic cache writes) are machine-checked here instead of by
+convention.  See :mod:`repro.lint.rules` for the ruleset and
+:mod:`repro.lint.cli` for the ``python -m repro.lint`` interface.
+
+>>> from repro.lint import lint_paths
+>>> report = lint_paths(["src"])           # doctest: +SKIP
+>>> report.exit_code                       # doctest: +SKIP
+0
+"""
+
+from .engine import (
+    Finding,
+    LintReport,
+    ModuleInfo,
+    PARSE_ERROR,
+    Rule,
+    all_rules,
+    lint_paths,
+    register,
+    resolve_rules,
+)
+from .report import render_json, render_text
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "ModuleInfo",
+    "PARSE_ERROR",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "register",
+    "render_json",
+    "render_text",
+    "resolve_rules",
+]

@@ -1,0 +1,343 @@
+"""The reprolint rule engine: files, modules, suppressions, rule registry.
+
+``reprolint`` is a dependency-free static-analysis pass over the repo's
+own source: every invariant the runtime and study layers rely on —
+single scheduler, seed contract, execution-blind content addresses,
+atomic cache writes — is enforced by a rule here instead of by
+convention or ad-hoc string greps in tests.
+
+The engine is deliberately small:
+
+* a :class:`ModuleInfo` per linted file — parsed ``ast`` tree, an
+  import-alias map (so ``np.random.default_rng`` and
+  ``from numpy.random import default_rng as rng`` resolve to the same
+  canonical dotted name), and the inline suppression table;
+* a :class:`Rule` registry (:func:`register`) with per-module and
+  project-wide hooks — cross-module rules like the registry/dispatch
+  consistency check see every linted module at once;
+* :func:`lint_paths`, the one entry point: discover ``*.py`` files,
+  run the selected rules, drop suppressed findings, return a
+  :class:`LintReport` whose :attr:`~LintReport.exit_code` is 2 when
+  findings remain (the CI contract) and 0 when the tree is clean.
+
+Suppressions are inline comments on the flagged line::
+
+    rng = np.random.default_rng(0)  # reprolint: disable=RPL002
+
+A comma list (``disable=RPL002,RPL006``) and ``disable=all`` are
+accepted.  Everything here is standard library only — the linter must
+run in a bare interpreter, before any third-party dependency exists.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import LintError
+
+#: Rule id of parse failures; not a registered rule, never suppressible.
+PARSE_ERROR = "RPL000"
+
+_SUPPRESS = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
+_RULE_ID = re.compile(r"^RPL\d{3}$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a rule violated at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file plus the lookup tables rules need."""
+
+    path: Path
+    rel: str
+    source: str
+    tree: ast.Module
+    imports: Dict[str, str] = field(default_factory=dict)
+    disabled: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def in_module(self, *suffixes: str) -> bool:
+        """Whether this file *is* one of the given path suffixes
+        (``"runtime/scheduler.py"`` matches any ``.../runtime/scheduler.py``)."""
+        return any(self.rel == suffix or self.rel.endswith("/" + suffix)
+                   for suffix in suffixes)
+
+    def under(self, directory: str) -> bool:
+        """Whether this file lives under a directory of that name
+        (``"runtime"`` matches ``src/repro/runtime/cache.py``)."""
+        return f"/{directory}/" in f"/{self.rel}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """The canonical dotted name of a ``Name``/``Attribute`` chain,
+        with the leading segment rewritten through the module's import
+        aliases — ``np.random.default_rng`` -> ``numpy.random.default_rng``.
+        ``None`` when the expression is not a plain dotted chain."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        parts.reverse()
+        root = parts[0]
+        if root in self.imports:
+            parts[0] = self.imports[root]
+        return ".".join(parts)
+
+    def is_imported(self, name: str) -> bool:
+        """Whether ``name`` is bound by an import statement (any scope)."""
+        return name in self.imports
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=rule.id,
+            path=self.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+class Rule:
+    """Base class of every reprolint rule.
+
+    Subclasses set ``id`` (``RPL0NN``) and ``summary`` and override
+    :meth:`check_module` (one file at a time) and/or
+    :meth:`check_project` (all linted files together, for cross-module
+    registry-consistency checks).
+    """
+
+    id: str = ""
+    summary: str = ""
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self,
+                      modules: Sequence[ModuleInfo]) -> Iterable[Finding]:
+        return ()
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_cls):
+    """Class decorator adding a rule to the global registry."""
+    rule = rule_cls()
+    if not _RULE_ID.match(rule.id):
+        raise LintError(f"Rule id {rule.id!r} does not match RPLnnn")
+    if rule.id in _REGISTRY:
+        raise LintError(f"Duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, in id order."""
+    from . import rules as _rules  # noqa: F401 — registration side effect
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def resolve_rules(select: Optional[Sequence[str]] = None,
+                  ignore: Optional[Sequence[str]] = None) -> List[Rule]:
+    """The rule set after ``--select``/``--ignore`` filtering; unknown
+    ids fail fast with the known ids listed."""
+    rules = all_rules()
+    known = {rule.id for rule in rules}
+    for requested in list(select or []) + list(ignore or []):
+        if requested not in known:
+            raise LintError(
+                f"Unknown rule {requested!r}; known rules: {sorted(known)}"
+            )
+    if select:
+        wanted = set(select)
+        rules = [rule for rule in rules if rule.id in wanted]
+    if ignore:
+        dropped = set(ignore)
+        rules = [rule for rule in rules if rule.id not in dropped]
+    return rules
+
+
+def _build_imports(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> canonical dotted target, from every import statement
+    in the module (lazy in-function imports included)."""
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    imports[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".", 1)[0]
+                    imports[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            prefix = ("." * node.level) + (node.module or "")
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                imports[local] = f"{prefix}.{alias.name}" if prefix \
+                    else alias.name
+    return imports
+
+
+def _build_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Line number -> rule ids disabled on that line (``ALL`` for all)."""
+    disabled: Dict[int, Set[str]] = {}
+    for line_number, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS.search(line)
+        if not match:
+            continue
+        ids = {token.strip().upper()
+               for token in match.group(1).split(",") if token.strip()}
+        if ids:
+            disabled[line_number] = ids
+    return disabled
+
+
+def _relative_label(path: Path) -> str:
+    """The path string findings carry: relative to the current directory
+    when possible, always forward-slashed."""
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def load_module(path: Path) -> Tuple[Optional[ModuleInfo], Optional[Finding]]:
+    """``(module, None)`` on success, ``(None, parse_finding)`` on
+    unreadable or syntactically invalid input."""
+    rel = _relative_label(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as error:
+        return None, Finding(PARSE_ERROR, rel, 1, 1, f"cannot read: {error}")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return None, Finding(
+            PARSE_ERROR, rel, error.lineno or 1, (error.offset or 0) + 1,
+            f"syntax error: {error.msg}",
+        )
+    return ModuleInfo(
+        path=path,
+        rel=rel,
+        source=source,
+        tree=tree,
+        imports=_build_imports(tree),
+        disabled=_build_suppressions(source),
+    ), None
+
+
+def discover_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files and directories into a deduplicated ``*.py`` list."""
+    files: List[Path] = []
+    seen: Set[Path] = set()
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            candidates: List[Path] = sorted(path.rglob("*.py"))
+        elif path.is_file():
+            candidates = [path]
+        else:
+            raise LintError(f"No such file or directory: {entry}")
+        for candidate in candidates:
+            marker = candidate.resolve()
+            if marker not in seen:
+                seen.add(marker)
+                files.append(candidate)
+    return files
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The outcome of one lint run."""
+
+    findings: Tuple[Finding, ...]
+    files: int
+    rules: Tuple[str, ...]
+    suppressed: int
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean, 2 when findings remain — the CI contract."""
+        return 2 if self.findings else 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "files": self.files,
+            "rules": list(self.rules),
+            "suppressed": self.suppressed,
+            "findings": [finding.as_dict() for finding in self.findings],
+        }
+
+
+def lint_paths(paths: Sequence[str],
+               select: Optional[Sequence[str]] = None,
+               ignore: Optional[Sequence[str]] = None) -> LintReport:
+    """Lint every ``*.py`` file under ``paths`` with the selected rules.
+
+    Parse failures always surface (rule ``RPL000``), regardless of
+    selection, and cannot be suppressed — a file the linter cannot read
+    is a file whose invariants nobody checked.
+    """
+    rules = resolve_rules(select, ignore)
+    files = discover_files(paths)
+    modules: List[ModuleInfo] = []
+    raw: List[Finding] = []
+    for path in files:
+        module, error = load_module(path)
+        if error is not None:
+            raw.append(error)
+        else:
+            modules.append(module)
+
+    for rule in rules:
+        for module in modules:
+            raw.extend(rule.check_module(module))
+        raw.extend(rule.check_project(modules))
+
+    by_path = {module.rel: module for module in modules}
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in raw:
+        module = by_path.get(finding.path)
+        if module is not None and finding.rule != PARSE_ERROR:
+            disabled = module.disabled.get(finding.line, set())
+            if finding.rule in disabled or "ALL" in disabled:
+                suppressed += 1
+                continue
+        kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return LintReport(
+        findings=tuple(kept),
+        files=len(files),
+        rules=tuple(rule.id for rule in rules),
+        suppressed=suppressed,
+    )

@@ -1,0 +1,32 @@
+"""Reprolint reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintReport
+
+
+def render_text(report: LintReport) -> str:
+    """One ``path:line:col: RULE message`` line per finding plus a
+    summary line (mirrors the familiar compiler-diagnostic shape, so
+    editors and CI annotations pick the locations up for free)."""
+    lines = [finding.render() for finding in report.findings]
+    suppressed = (f", {report.suppressed} suppressed"
+                  if report.suppressed else "")
+    if report.findings:
+        lines.append(
+            f"{len(report.findings)} finding(s) in {report.files} file(s), "
+            f"{len(report.rules)} rule(s){suppressed}"
+        )
+    else:
+        lines.append(
+            f"clean: {report.files} file(s), {len(report.rules)} "
+            f"rule(s){suppressed}"
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """The report as a stable JSON document (``version: 1``)."""
+    return json.dumps(report.as_dict(), indent=2, sort_keys=True)

@@ -1,0 +1,10 @@
+"""RPL001 negative fixture: the scheduler itself may own the pool."""
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+
+def run_tasks(fn, tasks, backend="process"):
+    executor_type = (ProcessPoolExecutor if backend == "process"
+                     else ThreadPoolExecutor)
+    with executor_type(max_workers=2) as pool:
+        return list(pool.map(fn, tasks))

@@ -1,0 +1,8 @@
+"""RPL001 fixture: a private pool outside runtime/scheduler.py."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def fan_out(fn, tasks):
+    with ProcessPoolExecutor(max_workers=4) as pool:
+        return list(pool.map(fn, tasks))

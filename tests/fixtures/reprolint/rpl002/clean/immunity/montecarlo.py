@@ -1,0 +1,9 @@
+"""RPL002 negative fixture: montecarlo.py is a sanctioned entry point,
+and SeedSequence construction is seed plumbing, allowed anywhere."""
+
+import numpy as np
+
+
+def seeded_generator(seed):
+    root = np.random.SeedSequence(seed)
+    return np.random.default_rng(root)

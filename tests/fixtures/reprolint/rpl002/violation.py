@@ -1,0 +1,8 @@
+"""RPL002 fixture: RNG construction outside the sanctioned entry points."""
+
+import numpy as np
+
+
+def sample(n):
+    rng = np.random.default_rng(1234)
+    return rng.standard_normal(n)

@@ -1,0 +1,8 @@
+"""RPL003 negative fixture: wall-clock reads are fine in modules that
+never feed a content address (this file is not a fingerprinted module)."""
+
+import time
+
+
+def stopwatch():
+    return time.time()

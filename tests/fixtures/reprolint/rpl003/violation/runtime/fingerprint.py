@@ -1,0 +1,9 @@
+"""RPL003 fixture: a wall-clock read inside a fingerprinted module."""
+
+import hashlib
+import time
+
+
+def stamped_fingerprint(payload):
+    text = f"{payload}@{time.time()}"
+    return hashlib.sha256(text.encode()).hexdigest()

@@ -1,0 +1,11 @@
+"""RPL004 negative fixture: a fingerprint call fed only by what the
+result depends on — execution parameters stay outside."""
+
+
+def study_fingerprint(study, params=None, seed=None):
+    return f"{study}:{params}:{seed}"
+
+
+def cache_key(study, trials, seed, jobs=None):
+    del jobs                       # execution-only; never enters the key
+    return study_fingerprint(study, params={"trials": trials}, seed=seed)

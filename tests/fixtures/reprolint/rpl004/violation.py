@@ -1,0 +1,9 @@
+"""RPL004 fixture: execution parameters leaking into a content address."""
+
+
+def study_fingerprint(study, params=None, **extra):
+    return f"{study}:{params}:{extra}"
+
+
+def cache_key(study, jobs, backend):
+    return study_fingerprint(study, params={"jobs": jobs}, backend=backend)

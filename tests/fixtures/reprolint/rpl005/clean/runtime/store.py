@@ -1,0 +1,22 @@
+"""RPL005 negative fixture: writes under runtime/ go through the
+atomic-replace helper; reads are unrestricted."""
+
+import json
+import os
+import tempfile
+
+
+def _write_atomic(path, text):
+    handle, temp_name = tempfile.mkstemp(dir=os.path.dirname(path))
+    with os.fdopen(handle, "w", encoding="utf-8") as stream:
+        stream.write(text)
+    os.replace(temp_name, path)
+
+
+def save_entry(path, payload):
+    _write_atomic(path, json.dumps(payload))
+
+
+def load_entry(path):
+    with open(path, "r", encoding="utf-8") as stream:
+        return json.load(stream)

@@ -1,0 +1,9 @@
+"""RPL005 fixture: a direct write under runtime/ — readers can observe
+half an entry."""
+
+import json
+
+
+def save_entry(path, payload):
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream)

@@ -1,0 +1,13 @@
+"""RPL006 negative fixture: None defaults, containers built per call."""
+
+
+def accumulate(value, into=None):
+    into = [] if into is None else into
+    into.append(value)
+    return into
+
+
+def tally(key, counts=None):
+    counts = {} if counts is None else counts
+    counts[key] = counts.get(key, 0) + 1
+    return counts

@@ -1,0 +1,11 @@
+"""RPL006 fixture: mutable default arguments shared across calls."""
+
+
+def accumulate(value, into=[]):
+    into.append(value)
+    return into
+
+
+def tally(key, counts={}):
+    counts[key] = counts.get(key, 0) + 1
+    return counts

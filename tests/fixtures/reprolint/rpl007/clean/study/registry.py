@@ -1,0 +1,22 @@
+"""RPL007 negative fixture: every result class declares its dispatch
+key and every registered study has a matching result class."""
+
+
+class StudyResult:
+    study_name = ""
+
+
+class PhantomResult(StudyResult):
+    study_name = "phantom"
+
+
+class StudyDefinition:
+    def __init__(self, name, runner):
+        self.name = name
+        self.runner = runner
+
+
+def _definitions():
+    return [
+        StudyDefinition("phantom", lambda: None),
+    ]

@@ -1,0 +1,25 @@
+"""RPL007 fixture: a registry/dispatch inconsistency, both directions —
+a result class with no study_name (never enters the from_json dispatch)
+and a registered study whose name no result class carries."""
+
+
+class StudyResult:
+    study_name = ""
+
+
+class GhostResult(StudyResult):
+    """Subclasses StudyResult but forgets its dispatch key."""
+
+    payload: dict
+
+
+class StudyDefinition:
+    def __init__(self, name, runner):
+        self.name = name
+        self.runner = runner
+
+
+def _definitions():
+    return [
+        StudyDefinition("phantom", lambda: None),
+    ]

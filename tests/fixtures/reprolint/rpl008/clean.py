@@ -1,0 +1,17 @@
+"""RPL008 negative fixture: specific exceptions, and broad handlers
+with a real degrade-and-continue body stay legal."""
+
+
+def tolerant_unlink(path):
+    try:
+        path.unlink()
+    except OSError:
+        pass
+
+
+def decode_or_evict(path, decode):
+    try:
+        return decode(path)
+    except Exception:
+        tolerant_unlink(path)
+        return None

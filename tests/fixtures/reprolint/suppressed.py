@@ -1,0 +1,23 @@
+"""Suppression fixture: real violations silenced by inline comments.
+
+The first two carry a justifying disable comment and must NOT surface;
+the last one has no comment and must still be reported.
+"""
+
+import numpy as np
+
+
+def sample(n):
+    # Fixture rationale: exercising the suppression syntax itself.
+    rng = np.random.default_rng(7)  # reprolint: disable=RPL002
+    return rng.standard_normal(n)
+
+
+def accumulate(value, into=[]):  # reprolint: disable=RPL006,RPL008
+    into.append(value)
+    return into
+
+
+def leaky(value, into=[]):
+    into.append(value)
+    return into

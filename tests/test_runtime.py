@@ -192,16 +192,23 @@ class TestMonteCarloSweepRouting:
         assert sweep(**kwargs) == sweep(workers=2, **kwargs)
 
     def test_single_pool_implementation(self):
-        """No parallel code path owns its own executor any more."""
-        import inspect
+        """No parallel code path owns its own executor any more.
 
+        Enforced by reprolint's RPL001 (the single-scheduler rule),
+        which resolves import aliases in the AST instead of grepping
+        source text — a comment mentioning ProcessPoolExecutor no
+        longer trips it, a disguised ``from concurrent import
+        futures as cf`` still does.
+        """
         import repro.immunity.montecarlo as montecarlo
         import repro.study.sweeps as sweeps
 
-        for module in (montecarlo, sweeps):
-            source = inspect.getsource(module)
-            assert "ProcessPoolExecutor" not in source
-            assert "ThreadPoolExecutor" not in source
+        from repro.lint import lint_paths
+
+        report = lint_paths(
+            [montecarlo.__file__, sweeps.__file__], select=["RPL001"])
+        rendered = "\n".join(f.render() for f in report.findings)
+        assert not report.findings, f"private pool detected:\n{rendered}"
 
 
 # ---------------------------------------------------------------------------

@@ -18,9 +18,10 @@ otherwise.
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
-from typing import Any, List
+from typing import Any, List, Optional, Sequence
 
 _TYPES = {
     "object": dict,
@@ -79,20 +80,34 @@ def validate(value: Any, schema: Any, path: str = "$",
     return errors
 
 
-def main(argv: List[str]) -> int:
-    if len(argv) != 3:
-        sys.stderr.write(
-            "usage: validate_repro_json.py SCHEMA.json DOCUMENT.json\n"
-            "       (DOCUMENT '-' reads from stdin)\n"
-        )
-        return 2
-    with open(argv[1], "r", encoding="utf-8") as stream:
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python tools/validate_repro_json.py",
+        description=("Validate a `repro run ... --json` document against "
+                     "a JSON schema (dependency-free draft-07 subset: "
+                     "type, const, required, properties, minLength, "
+                     "items)."),
+        epilog=("Exit status: 0 valid, 1 invalid (one stderr line per "
+                "violation), 2 usage error."),
+    )
+    parser.add_argument(
+        "schema", metavar="SCHEMA.json",
+        help="schema file, e.g. docs/repro_result.schema.json")
+    parser.add_argument(
+        "document", metavar="DOCUMENT.json",
+        help="result document to validate ('-' reads stdin)")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    with open(args.schema, "r", encoding="utf-8") as stream:
         schema = json.load(stream)
     try:
-        if argv[2] == "-":
+        if args.document == "-":
             document = json.load(sys.stdin)
         else:
-            with open(argv[2], "r", encoding="utf-8") as stream:
+            with open(args.document, "r", encoding="utf-8") as stream:
                 document = json.load(stream)
     except json.JSONDecodeError as error:
         sys.stderr.write(f"invalid: document is not JSON ({error})\n")
@@ -108,4 +123,4 @@ def main(argv: List[str]) -> int:
 
 
 if __name__ == "__main__":
-    raise SystemExit(main(sys.argv))
+    raise SystemExit(main())
