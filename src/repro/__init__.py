@@ -27,7 +27,12 @@ The package is organised as:
 
 * :mod:`repro.lint` — reprolint, the dependency-free AST linter that
   machine-checks the repo's determinism/seeding/runtime contracts
-  (``python -m repro.lint src``).
+  (``python -m repro.lint src``);
+
+* :mod:`repro.service` — the async study service: ``python -m repro
+  serve`` exposes an HTTP job API (submit/poll/fetch/cancel) over the
+  runtime layer, deduplicating identical concurrent submissions onto
+  one engine run by content fingerprint.  Stdlib only.
 
 The package root resolves its re-exports **lazily** (PEP 562): merely
 importing :mod:`repro` pulls in no NumPy and no engine code, so
@@ -116,6 +121,10 @@ _EXPORTS = {
     # the runtime layer
     "ResultCache": ".runtime",
     "run_manifest": ".runtime",
+    # the service layer
+    "JobManager": ".service",
+    "JobSubmission": ".service",
+    "ReproService": ".service",
     # the Study layer
     "Corner": ".study",
     "Provenance": ".study",

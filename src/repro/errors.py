@@ -124,6 +124,11 @@ class RuntimeLayerError(ReproError):
     manifests)."""
 
 
+class ServiceError(ReproError):
+    """Raised by the study service layer (the async job API): malformed
+    submissions, unknown job ids, illegal job-state transitions."""
+
+
 class CacheError(RuntimeLayerError):
     """Raised by the content-addressed result cache (unwritable store,
     malformed entries the caller asked to treat as fatal)."""

@@ -19,6 +19,9 @@ RPL007   registry consistency: every ``StudyResult`` subclass declares a
          ``study_name`` (the ``from_json`` dispatch key), and every study
          the registry defines has a result class carrying that name
 RPL008   no bare ``except:`` and no ``except Exception: pass``
+RPL009   one concurrency surface: no ``threading`` primitive construction
+         (``Thread``/``Lock``/``Condition``/...) outside
+         ``runtime/scheduler.py`` and ``service/jobs.py``
 =======  ==================================================================
 
 Rules resolve dotted names through each module's import aliases
@@ -490,3 +493,56 @@ class NoSilentExceptRule(Rule):
                 continue
             return False
         return True
+
+
+@register
+class SingleConcurrencySurfaceRule(Rule):
+    """RPL009 — thread/lock construction only in the sanctioned modules.
+
+    The sibling of RPL001 for raw :mod:`threading`: worker threads live
+    in ``service/jobs.py``, and every lock in the codebase is minted by
+    :func:`repro.runtime.scheduler.make_lock`, so a grep for concurrency
+    machinery always lands on exactly two modules.  Flags construction
+    calls of the primitive classes (``Thread``, ``Lock``, ``RLock``,
+    ``Condition``, ``Event``, ``Semaphore``, ``BoundedSemaphore``,
+    ``Barrier``, ``Timer``) and ``from threading import <primitive>``
+    anywhere else; ``import threading`` alone stays legal (type
+    annotations, ``current_thread`` introspection).
+    """
+
+    id = "RPL009"
+    summary = ("no threading primitive construction outside "
+               "runtime/scheduler.py and service/jobs.py "
+               "(single concurrency surface)")
+    ALLOWED = ("runtime/scheduler.py", "service/jobs.py")
+    _PRIMITIVES = frozenset({
+        "Thread", "Lock", "RLock", "Condition", "Event", "Semaphore",
+        "BoundedSemaphore", "Barrier", "Timer",
+    })
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.in_module(*self.ALLOWED):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module != "threading":
+                    continue
+                for alias in node.names:
+                    if alias.name in self._PRIMITIVES:
+                        yield module.finding(
+                            self, node,
+                            f"import of threading.{alias.name} outside the "
+                            "concurrency surface — spawn workers in "
+                            "service/jobs.py, mint locks with "
+                            "runtime.scheduler.make_lock()",
+                        )
+            elif isinstance(node, ast.Call):
+                canonical = module.resolve(node.func) or ""
+                prefix, _, target = canonical.rpartition(".")
+                if prefix == "threading" and target in self._PRIMITIVES:
+                    yield module.finding(
+                        self, node,
+                        f"{canonical}() constructed outside the concurrency "
+                        "surface — spawn workers in service/jobs.py, mint "
+                        "locks with runtime.scheduler.make_lock()",
+                    )

@@ -51,6 +51,7 @@ from typing import Any, Dict, Iterator, Optional, Sequence, Tuple, Union
 
 from ..errors import CacheError
 from ..study.results import StudyResult
+from .scheduler import make_lock
 
 #: Version tag of the on-disk cache entry wrapper.
 CACHE_SCHEMA = "repro-cache-entry/v1"
@@ -66,6 +67,26 @@ ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 DEFAULT_CACHE_DIR = ".repro-cache"
 
 CacheLike = Union[None, bool, str, os.PathLike, "ResultCache"]
+
+#: One lock per stats file (keyed by absolute path), shared by every
+#: :class:`ResultCache` instance in the process.  Counter persistence is
+#: a read-modify-write of ``stats.json``; without mutual exclusion two
+#: concurrent service jobs interleave and drop increments.  The lock
+#: comes from :func:`~repro.runtime.scheduler.make_lock` — the
+#: scheduler module is the sanctioned home of concurrency primitives.
+_STATS_LOCKS: Dict[str, Any] = {}
+_STATS_LOCKS_GUARD = make_lock()
+
+
+def _stats_lock(path: Path):
+    """The process-wide lock serialising counter updates of ``path``."""
+    key = os.path.abspath(os.fspath(path))
+    with _STATS_LOCKS_GUARD:
+        lock = _STATS_LOCKS.get(key)
+        if lock is None:
+            lock = make_lock()
+            _STATS_LOCKS[key] = lock
+    return lock
 
 
 @dataclass(frozen=True)
@@ -233,20 +254,23 @@ class ResultCache:
         """Fold counter deltas into ``stats.json``.  Strictly best-effort:
         counters are telemetry, so an unwritable store (read-only mount,
         foreign ownership) must never turn a valid hit into a failure —
-        the write is simply skipped.  Atomic replace; concurrent bumps may
-        drop a count, never corrupt."""
-        counters = self._counters()
-        counters["hits"] += hits
-        counters["misses"] += misses
-        counters["corrupt"] += corrupt
-        counters["corner_hits"] += corner_hits
-        counters["corner_misses"] += corner_misses
-        counters["corner_corrupt"] += corner_corrupt
-        counters["updated"] = time.time()
-        try:
-            self._write_atomic(self._stats_path, json.dumps(counters))
-        except OSError:
-            pass
+        the write is simply skipped.  The read-modify-write is serialised
+        by a process-wide per-store lock (shared across instances), so
+        concurrent service jobs never drop an increment; the replace
+        itself is atomic, so a reader never sees half a file."""
+        with _stats_lock(self._stats_path):
+            counters = self._counters()
+            counters["hits"] += hits
+            counters["misses"] += misses
+            counters["corrupt"] += corrupt
+            counters["corner_hits"] += corner_hits
+            counters["corner_misses"] += corner_misses
+            counters["corner_corrupt"] += corner_corrupt
+            counters["updated"] = time.time()
+            try:
+                self._write_atomic(self._stats_path, json.dumps(counters))
+            except OSError:
+                pass
 
     def _counters(self) -> Dict[str, Any]:
         try:

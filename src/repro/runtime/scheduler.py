@@ -38,6 +38,7 @@ request always produces the same task list.
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import (AbstractSet, Callable, List, Optional, Sequence, Tuple,
@@ -100,6 +101,18 @@ def run_tasks(
                      else ThreadPoolExecutor)
     with executor_type(max_workers=min(jobs, len(tasks))) as pool:
         return list(pool.map(fn, tasks))
+
+
+def make_lock() -> threading.Lock:
+    """A mutual-exclusion lock for callers that need one.
+
+    This module and ``service/jobs.py`` are the only places allowed to
+    construct concurrency primitives (the RPL009 contract, a sibling of
+    the RPL001 single-pool rule): everything else — e.g. the result
+    cache's counter persistence — obtains its lock here, so a grep for
+    thread machinery always lands on the sanctioned modules.
+    """
+    return threading.Lock()
 
 
 def shard_indices(n: int, shards: int) -> List[Tuple[int, int]]:
@@ -193,6 +206,7 @@ def plan_shards(n_tasks: int, jobs: Optional[int],
 __all__ = [
     "BACKENDS",
     "DeltaPlan",
+    "make_lock",
     "plan_delta",
     "plan_shards",
     "resolve_backend",

@@ -12,6 +12,7 @@ Examples::
     python -m repro sweep --engine transient --axis vdd=0.8:1.0:5 \
         --set cell=NAND2 --json sweep.json
     python -m repro batch manifest.json --cache .repro-cache --jobs 4
+    python -m repro serve --port 8000 --cache .repro-cache --workers 2
     python -m repro cache stats --cache .repro-cache
     python -m repro cache prune --cache .repro-cache
     python -m repro cache prune --cache .repro-cache --max-age 86400 \
@@ -222,6 +223,33 @@ def _cmd_batch(args, stdout, stderr) -> int:
     return 0
 
 
+def _cmd_serve(args, stdout, stderr) -> int:
+    from ..service.server import ReproService, describe_endpoints
+
+    store = _resolve_cache(args)
+    service = ReproService(
+        host=args.host,
+        port=args.port,
+        cache=store,
+        jobs=args.jobs,
+        backend=args.backend,
+        workers=args.workers,
+        verbose=args.verbose,
+    )
+    stdout.write(f"repro service listening on {service.url}\n")
+    for endpoint, meaning in describe_endpoints().items():
+        stdout.write(f"  {endpoint:<24} {meaning}\n")
+    if store is not None:
+        stdout.write(f"  cache: {store.root}\n")
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        stderr.write("shutting down\n")
+    finally:
+        service.close()
+    return 0
+
+
 def _cmd_cache(args, stdout, stderr) -> int:
     from ..runtime.cache import ResultCache
 
@@ -345,6 +373,21 @@ def build_parser() -> argparse.ArgumentParser:
                               help="also print the text rendering with --json")
     _add_runtime_flags(batch_parser)
     batch_parser.set_defaults(handler=_cmd_batch)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the async study service: an HTTP job API "
+             "(repro serve --port 8000 --cache .repro-cache)")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default: 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8000,
+                              help="bind port (0 = ephemeral; default: 8000)")
+    serve_parser.add_argument("--workers", type=int, default=2, metavar="N",
+                              help="concurrent job slots (default: 2)")
+    serve_parser.add_argument("--verbose", action="store_true",
+                              help="log each HTTP request to stderr")
+    _add_runtime_flags(serve_parser, backend=True)
+    serve_parser.set_defaults(handler=_cmd_serve)
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or prune the result cache")

@@ -1,0 +1,12 @@
+"""RPL009 clean: the same constructions are legal here — this path is
+service/jobs.py, one of the two sanctioned concurrency modules."""
+
+import threading
+
+
+def start_worker(target):
+    lock = threading.Lock()
+    waiter = threading.Condition(lock)
+    worker = threading.Thread(target=target, daemon=True)
+    worker.start()
+    return lock, waiter, worker

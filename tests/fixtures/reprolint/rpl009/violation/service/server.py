@@ -1,0 +1,13 @@
+"""RPL009 violation: threading primitives constructed outside the
+sanctioned concurrency surface (this path is service/server.py, not
+service/jobs.py)."""
+
+import threading
+from threading import Event
+
+
+def start_worker(target):
+    lock = threading.Lock()            # RPL009: lock minted here
+    worker = threading.Thread(target=target, daemon=True)  # RPL009
+    worker.start()
+    return lock, worker, Event()

@@ -237,6 +237,28 @@ class TestResultCache:
         ResultCache(root).get(key)
         assert ResultCache(root).stats().hits == 1
 
+    def test_counter_persistence_is_thread_safe(self, tmp_path):
+        """Counter updates are read-modify-write on stats.json; hammering
+        misses from many threads (and across instances sharing the store)
+        must lose no increments — the regression for the unlocked _bump."""
+        import threading
+
+        root = tmp_path / "store"
+        threads, per_thread = 8, 25
+        missing = study_fingerprint("fig3", params={"unit_width": -1.0})
+
+        def hammer():
+            cache = ResultCache(root)        # per-thread instance, one store
+            for _ in range(per_thread):
+                assert cache.get(missing) is None
+
+        workers = [threading.Thread(target=hammer) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert ResultCache(root).stats().misses == threads * per_thread
+
     def test_corrupt_entry_is_evicted_not_served(self, tmp_path):
         cache = ResultCache(tmp_path / "store")
         key = study_fingerprint("fig3")
