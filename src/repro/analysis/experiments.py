@@ -462,6 +462,16 @@ def format_fulladder(result) -> str:
 
 
 # ---------------------------------------------------------------------------
+# E6b — circuit-level yield / delay / energy (beyond the paper)
+# ---------------------------------------------------------------------------
+
+# The engine lives in its own subsystem (`repro.circuit_study`); re-exported
+# here so the registry's one-runner-per-study convention holds and `repro
+# list` shows its parameters like any other study.
+from ..circuit_study import run_circuit_study  # noqa: E402
+
+
+# ---------------------------------------------------------------------------
 # E7 — headline EDP / EDAP summary (abstract + conclusions)
 # ---------------------------------------------------------------------------
 
@@ -512,4 +522,8 @@ def run_all(fast: bool = True) -> Dict[str, StudyResult]:
         "pitch_sensitivity": run_pitch_sensitivity(),
         "fulladder": run_fulladder_case_study(),
         "edp_summary": run_edp_summary(),
+        "circuit": run_circuit_study(
+            "adder:2" if fast else "adder:8", trials=trials,
+            draws=200 if fast else 2000,
+        ),
     }

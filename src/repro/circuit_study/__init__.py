@@ -1,0 +1,21 @@
+"""Circuit-level yield / delay / energy studies over mapped netlists.
+
+This package composes the existing layers end to end: structural Verilog
+(or a built-in generator) → technology mapping → per-unique-cell Monte
+Carlo immunity and measured timing → circuit-level aggregation, returned
+as a typed :class:`~repro.study.results.CircuitStudyResult`.
+"""
+
+from .circuits import (
+    CIRCUIT_GENERATORS,
+    generate_circuit,
+    resolve_circuit,
+)
+from .study import run_circuit_study
+
+__all__ = [
+    "CIRCUIT_GENERATORS",
+    "generate_circuit",
+    "resolve_circuit",
+    "run_circuit_study",
+]

@@ -1,0 +1,84 @@
+"""Circuit input resolution for circuit studies.
+
+``run_circuit_study`` accepts three spellings of "a circuit":
+
+* a live :class:`~repro.circuit.netlist.GateNetlist`,
+* structural Verilog text (anything containing a ``module`` keyword),
+* a generator spec string — ``family[:bits]`` over the built-in circuit
+  families (``adder:8``, ``comparator:4``, ``mac:4``, ``fulladder``).
+
+This module normalises all three into ``(netlist, source)`` where
+``source`` is a short provenance label.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, Tuple, Union
+
+from ..circuit.netlist import GateNetlist
+from ..errors import StudyError
+from ..flow.verilog import (
+    comparator_netlist,
+    full_adder_netlist,
+    mac_slice_netlist,
+    parse_structural_verilog,
+    ripple_carry_adder_netlist,
+)
+
+CircuitLike = Union[str, GateNetlist]
+
+#: Built-in circuit families by spec-name; each maps ``bits`` to a netlist.
+CIRCUIT_GENERATORS: Dict[str, Callable[[int], GateNetlist]] = {
+    "adder": ripple_carry_adder_netlist,
+    "rca": ripple_carry_adder_netlist,
+    "comparator": comparator_netlist,
+    "cmp": comparator_netlist,
+    "mac": mac_slice_netlist,
+    "fulladder": lambda bits: full_adder_netlist(),
+    "fa": lambda bits: full_adder_netlist(),
+}
+
+_SPEC_RE = re.compile(r"^(?P<family>[a-z]+)(?::(?P<bits>\d+))?$")
+
+
+def generate_circuit(spec: str) -> GateNetlist:
+    """Build a built-in circuit from a ``family[:bits]`` spec string.
+
+    >>> generate_circuit("adder:2").name
+    'rca2'
+    >>> generate_circuit("comparator:3").name
+    'cmp3'
+    """
+    match = _SPEC_RE.match(spec.strip().lower())
+    if not match:
+        raise StudyError(
+            f"Malformed circuit spec {spec!r}; expected family[:bits], "
+            f"e.g. adder:8 (families: {sorted(set(CIRCUIT_GENERATORS))})"
+        )
+    family = match.group("family")
+    generator = CIRCUIT_GENERATORS.get(family)
+    if generator is None:
+        raise StudyError(
+            f"Unknown circuit family {family!r}; "
+            f"available: {sorted(set(CIRCUIT_GENERATORS))}"
+        )
+    bits = int(match.group("bits") or 4)
+    if bits < 1:
+        raise StudyError(f"Circuit spec {spec!r} needs at least 1 bit")
+    return generator(bits)
+
+
+def resolve_circuit(circuit: CircuitLike) -> Tuple[GateNetlist, str]:
+    """Normalise any accepted circuit spelling to ``(netlist, source)``."""
+    if isinstance(circuit, GateNetlist):
+        return circuit, f"netlist:{circuit.name}"
+    if not isinstance(circuit, str):
+        raise StudyError(
+            f"circuit must be a GateNetlist, Verilog text or a spec string, "
+            f"not {type(circuit).__name__}"
+        )
+    if re.search(r"\bmodule\b", circuit):
+        netlist = parse_structural_verilog(circuit)
+        return netlist, f"verilog:{netlist.name}"
+    return generate_circuit(circuit), circuit.strip().lower()

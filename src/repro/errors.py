@@ -108,6 +108,22 @@ class MappingError(FlowError):
     """Raised when a netlist gate cannot be mapped onto the cell library."""
 
 
+class VerilogParseError(FlowError):
+    """Raised by the structural Verilog parser with source location.
+
+    ``line`` and ``column`` are 1-based positions into the original text
+    (comments included), so editor "file:line:col" navigation lands on
+    the offending token.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        self.line = line
+        self.column = column
+        if line is not None and column is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
 class StudyError(ReproError):
     """Raised by the Study layer (unknown studies, malformed sweep axes,
     unserializable results, invalid CLI requests)."""

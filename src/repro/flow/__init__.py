@@ -11,8 +11,10 @@ from .placement import (
 )
 from .techmap import MappedDesign, MappedGate, check_library_coverage, map_netlist
 from .verilog import (
+    comparator_netlist,
     full_adder_netlist,
     full_adder_verilog,
+    mac_slice_netlist,
     parse_structural_verilog,
     ripple_carry_adder_netlist,
     split_cell_name,
@@ -23,6 +25,7 @@ __all__ = [
     "PlacedCell", "PlacementResult", "place_cmos_reference",
     "place_scheme1", "place_scheme2", "placement_layout",
     "MappedDesign", "MappedGate", "check_library_coverage", "map_netlist",
-    "full_adder_netlist", "full_adder_verilog", "parse_structural_verilog",
+    "comparator_netlist", "full_adder_netlist", "full_adder_verilog",
+    "mac_slice_netlist", "parse_structural_verilog",
     "ripple_carry_adder_netlist", "split_cell_name",
 ]

@@ -59,8 +59,24 @@ def map_netlist(
     is mapped to the nearest available drive of the same gate type (and the
     netlist instance keeps its requested value for reporting); without it a
     missing drive is an error.
+
+    A netlist with no gate instances, or one using gate types the library
+    cannot map at any drive, raises :class:`~repro.errors.MappingError`
+    up front (all missing types listed) rather than producing a
+    degenerate zero-area design.
     """
     netlist.validate()
+    if not netlist.gates:
+        raise MappingError(
+            f"Netlist {netlist.name!r} has no gate instances to map"
+        )
+    missing = check_library_coverage(netlist, library)
+    if missing:
+        raise MappingError(
+            f"Library {library.name!r} has no cell for gate type(s) "
+            f"{', '.join(repr(m) for m in missing)} used by netlist "
+            f"{netlist.name!r}"
+        )
     design = MappedDesign(netlist=netlist, library=library)
     for instance in netlist.gates:
         gate_type = instance.cell_type
@@ -68,11 +84,6 @@ def map_netlist(
             cell = library.cell(gate_type, instance.drive_strength)
         else:
             drives = library.drive_strengths(gate_type)
-            if not drives:
-                raise MappingError(
-                    f"Library {library.name!r} has no cell for gate type {gate_type!r} "
-                    f"(instance {instance.name!r})"
-                )
             if not snap_drive_strengths:
                 raise MappingError(
                     f"Library {library.name!r} has no {gate_type} cell at drive "

@@ -300,6 +300,61 @@ def _as_seed_sequence(seed: SeedLike) -> np.random.SeedSequence:
     return np.random.SeedSequence(seed)
 
 
+#: Reserved spawn-key element for per-cell seed derivation in circuit
+#: studies (see :func:`circuit_cell_seed`); distinct from the sweep key so
+#: circuit children can never collide with sweep children of the same root.
+_CIRCUIT_SPAWN_KEY = (1 << 31) + 1
+
+
+def circuit_cell_seed(seed: SeedLike, cell_name: str) -> np.random.SeedSequence:
+    """A stable child SeedSequence for one named cell of a circuit study.
+
+    The child depends only on the root seed and ``cell_name`` — not on how
+    many other cells the circuit contains or the order they are evaluated —
+    so the same cell in a different circuit (or a re-run with a grown
+    netlist) draws the identical defect population.  That is what lets the
+    corner store reuse per-cell immunity entries across circuits.
+    """
+    import hashlib
+
+    root = _as_seed_sequence(seed)
+    token = int.from_bytes(
+        hashlib.sha256(cell_name.encode("utf-8")).digest()[:4], "big"
+    )
+    return np.random.SeedSequence(
+        entropy=root.entropy,
+        spawn_key=tuple(root.spawn_key) + (_CIRCUIT_SPAWN_KEY, token),
+        pool_size=root.pool_size,
+    )
+
+
+def circuit_survival_draws(
+    failure_probabilities: Sequence[float],
+    draws: int,
+    seed: SeedLike,
+) -> np.ndarray:
+    """Defective-instance counts for ``draws`` independent circuit samples.
+
+    Each draw flips one Bernoulli coin per instance with that instance's
+    cell failure probability; the returned int array holds the number of
+    defective instances per draw (0 ⇒ the circuit is functional under the
+    every-cell-must-work yield model).  Vectorized: one uniform matrix of
+    shape ``(draws, instances)``.
+    """
+    probs = np.asarray(list(failure_probabilities), dtype=float)
+    if draws < 0:
+        raise ImmunityAnalysisError("draws must be non-negative")
+    if probs.size == 0 or draws == 0:
+        return np.zeros(draws, dtype=np.int64)
+    if np.any(probs < 0.0) or np.any(probs > 1.0):
+        raise ImmunityAnalysisError(
+            "failure probabilities must lie in [0, 1]"
+        )
+    rng = np.random.default_rng(_as_seed_sequence(seed))
+    uniforms = rng.random((int(draws), probs.size))
+    return np.count_nonzero(uniforms < probs[np.newaxis, :], axis=1).astype(np.int64)
+
+
 def format_comparison(results: Dict[str, MonteCarloResult]) -> str:
     """Render a technique-vs-failure-rate table."""
     header = f"{'technique':<12} {'trials':>7} {'failures':>9} {'failure rate':>13} {'immune':>7}"

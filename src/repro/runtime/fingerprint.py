@@ -92,6 +92,34 @@ def study_fingerprint(
     ).hexdigest()
 
 
+def netlist_context(netlist: Any) -> Dict[str, Any]:
+    """A stable structural digest of a gate netlist for corner contexts.
+
+    Circuit-study corners depend on the whole mapped netlist, not just
+    scalar axis values; this lowers a
+    :class:`~repro.circuit.netlist.GateNetlist` to a canonical plain-data
+    form — sorted instances with their cell types, drives and
+    connections, plus the IO declaration — so two structurally identical
+    netlists address the same corners regardless of construction order,
+    while any rewiring, renaming or drive change misses.
+    """
+    gates = sorted(
+        (
+            gate.name,
+            gate.cell_type,
+            float(gate.drive_strength),
+            tuple(sorted(gate.connections.items())),
+        )
+        for gate in netlist.gates
+    )
+    return {
+        "name": netlist.name,
+        "inputs": tuple(netlist.inputs),
+        "outputs": tuple(netlist.outputs),
+        "gates": tuple(gates),
+    }
+
+
 def sweep_fingerprint(spec: Any, engine: str, trials: int, seed: Any,
                       fixed: Optional[Mapping[str, Any]] = None) -> str:
     """The content address of one :func:`~repro.study.sweeps.

@@ -23,6 +23,8 @@ shape:
 
 from .results import (
     CharacterizationResult,
+    CircuitCellReport,
+    CircuitStudyResult,
     EdpSummaryResult,
     Fig2ImmunityResult,
     Fig3Result,
@@ -47,6 +49,8 @@ from .sweeps import SweepRecord, SweepStudyResult, run_sweep_study
 __all__ = [
     "Axis",
     "CharacterizationResult",
+    "CircuitCellReport",
+    "CircuitStudyResult",
     "Corner",
     "EdpSummaryResult",
     "Fig2ImmunityResult",

@@ -11,6 +11,10 @@ Examples::
         --axis technique=vulnerable,compact --trials 500 --jobs 4 --json -
     python -m repro sweep --engine transient --axis vdd=0.8:1.0:5 \
         --set cell=NAND2 --json sweep.json
+    python -m repro circuit --generate adder:8 --trials 500 --json -
+    python -m repro circuit design.v --cache .repro-cache
+    python -m repro sweep --engine circuit --axis metallic_fraction=0:0.02:3 \
+        --set circuit=adder:4 --set draws=500 --json -
     python -m repro batch manifest.json --cache .repro-cache --jobs 4
     python -m repro serve --port 8000 --cache .repro-cache --workers 2
     python -m repro cache stats --cache .repro-cache
@@ -196,7 +200,7 @@ def _cmd_run(args, stdout, stderr) -> int:
 def _cmd_sweep(args, stdout, stderr) -> int:
     spec = SweepSpec.parse(args.axis, mode=args.mode)
     kwargs: Dict[str, Any] = _parse_assignments(args.set, "--set")
-    if args.engine == "immunity":
+    if args.engine in ("immunity", "circuit"):
         kwargs["trials"] = args.trials if args.trials is not None else 200
         kwargs["seed"] = args.seed if args.seed is not None else 2009
     elif args.trials is not None or args.seed is not None:
@@ -209,6 +213,37 @@ def _cmd_sweep(args, stdout, stderr) -> int:
     store = _resolve_cache(args)
     result = run_sweep_study(spec, engine=args.engine, jobs=args.jobs,
                              backend=args.backend, cache=store, **kwargs)
+    _note_cache(result, store, stderr)
+    _emit(result, args.json, args.text, stdout)
+    return 0
+
+
+def _cmd_circuit(args, stdout, stderr) -> int:
+    from ..circuit_study import run_circuit_study
+
+    if args.verilog is None and args.generate is None:
+        raise StudyError(
+            "repro circuit needs a Verilog file or --generate FAMILY[:BITS]"
+        )
+    if args.verilog is not None and args.generate is not None:
+        raise StudyError(
+            "repro circuit takes a Verilog file or --generate, not both"
+        )
+    if args.verilog is not None:
+        # A missing/unreadable file surfaces as `error: ...` + exit 2 via
+        # main()'s OSError handler, like every other CLI failure.
+        with open(args.verilog, "r", encoding="utf-8") as stream:
+            circuit = stream.read()
+    else:
+        circuit = args.generate
+    params = _parse_assignments(args.param, "--param")
+    if args.trials is not None:
+        params["trials"] = args.trials
+    if args.seed is not None:
+        params["seed"] = args.seed
+    store = _resolve_cache(args)
+    result = run_circuit_study(circuit, workers=args.jobs,
+                               backend=args.backend, cache=store, **params)
     _note_cache(result, store, stderr)
     _emit(result, args.json, args.text, stdout)
     return 0
@@ -340,7 +375,8 @@ def build_parser() -> argparse.ArgumentParser:
                               metavar="NAME=SPEC",
                               help="axis as name=start:stop:steps, name=a,b,c "
                                    "or name=value (repeatable)")
-    sweep_parser.add_argument("--engine", choices=("immunity", "transient"),
+    sweep_parser.add_argument("--engine",
+                              choices=("immunity", "transient", "circuit"),
                               default="immunity")
     sweep_parser.add_argument("--mode", choices=("grid", "zip"), default="grid",
                               help="cartesian grid or lock-step zip expansion")
@@ -358,6 +394,37 @@ def build_parser() -> argparse.ArgumentParser:
                               help="also print the text rendering with --json")
     _add_runtime_flags(sweep_parser, backend=True)
     sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    circuit_parser = subparsers.add_parser(
+        "circuit",
+        help="run the circuit-level yield/delay/energy study on a Verilog "
+             "netlist or a built-in generator "
+             "(repro circuit --generate adder:8 --json -)")
+    circuit_parser.add_argument("verilog", nargs="?", default=None,
+                                metavar="FILE.V",
+                                help="structural Verilog netlist to analyse")
+    circuit_parser.add_argument("--generate", metavar="FAMILY[:BITS]",
+                                default=None,
+                                help="use a built-in circuit instead of a "
+                                     "file: adder:8, comparator:4, mac:4, "
+                                     "fulladder")
+    circuit_parser.add_argument("--json", metavar="PATH",
+                                help="write the serialized result "
+                                     "('-' = stdout)")
+    circuit_parser.add_argument("--text", action="store_true",
+                                help="also print the text rendering with "
+                                     "--json")
+    circuit_parser.add_argument("--seed", type=int, default=None,
+                                help="Monte Carlo seed (default 2009)")
+    circuit_parser.add_argument("--trials", type=int, default=None,
+                                help="Monte Carlo trials per unique cell "
+                                     "(default 200)")
+    circuit_parser.add_argument("--param", action="append",
+                                metavar="KEY=VALUE",
+                                help="extra study parameter (repeatable), "
+                                     "e.g. metallic_fraction=0.01 draws=5000")
+    _add_runtime_flags(circuit_parser, backend=True)
+    circuit_parser.set_defaults(handler=_cmd_circuit)
 
     batch_parser = subparsers.add_parser(
         "batch",

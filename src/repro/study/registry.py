@@ -94,6 +94,12 @@ def _definitions() -> List[StudyDefinition]:
             "Headline EDP / EDAP gains at the optimal pitch",
             aliases=("edp_summary", "table2"),
         ),
+        StudyDefinition(
+            "circuit", experiments.run_circuit_study, "Beyond the paper",
+            "Circuit-level yield/delay/energy over a mapped netlist "
+            "(Verilog or built-in adder/comparator/MAC generators)",
+            aliases=("circuit_study",),
+        ),
     ]
 
 

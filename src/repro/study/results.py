@@ -757,6 +757,137 @@ class FullAdderResult(StudyResult):
 
 
 @dataclass(frozen=True)
+class CircuitCellReport(_PointBase):
+    """Per-unique-cell outcome of a circuit study: one Monte Carlo
+    immunity run plus one measured-timing characterisation, shared by
+    every instance of the cell in the mapped netlist."""
+
+    cell: str
+    gate: str
+    drive_strength: float
+    instances: int
+    trials: int
+    failures: int
+    failure_rate: float
+    immune: bool
+    input_capacitance_f: float
+    drive_resistance_ohm: float
+    parasitic_capacitance_f: float
+
+
+@dataclass(frozen=True)
+class CircuitStudyResult(StudyResult):
+    """Circuit-level yield / delay / energy aggregation over a mapped
+    netlist (the synthesized-circuit extension of the paper's per-cell
+    analysis).
+
+    ``functional_yield`` is the analytic every-cell-must-work product
+    ``Π(1 − p_cell)`` over all instances; ``monte_carlo_yield`` is the
+    empirical fraction of defect draws with zero defective instances,
+    with ``defect_histogram`` recording the full defective-instance-count
+    distribution.  Timing and energy come from static analysis over the
+    measured per-cell models.
+    """
+
+    study_name: ClassVar[str] = "circuit"
+
+    circuit: str = ""
+    source: str = ""
+    instances: int = 0
+    unique_cells: int = 0
+    cells: Tuple[CircuitCellReport, ...] = ()
+    functional_yield: float = 0.0
+    monte_carlo_yield: float = 0.0
+    draws: int = 0
+    defect_histogram: Tuple[Tuple[int, int], ...] = ()
+    critical_path_delay_s: float = 0.0
+    critical_path: Tuple[str, ...] = ()
+    output_arrivals_s: Dict[str, float] = field(default_factory=dict)
+    total_energy_per_cycle_j: float = 0.0
+    total_cell_area_lambda2: float = 0.0
+    vdd: float = 0.0
+    pitch_nm: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "circuit": self.circuit,
+            "source": self.source,
+            "instances": self.instances,
+            "unique_cells": self.unique_cells,
+            "cells": [cell.as_dict() for cell in self.cells],
+            "functional_yield": self.functional_yield,
+            "monte_carlo_yield": self.monte_carlo_yield,
+            "draws": self.draws,
+            "defect_histogram": [list(pair) for pair in self.defect_histogram],
+            "critical_path_delay_s": self.critical_path_delay_s,
+            "critical_path": list(self.critical_path),
+            "output_arrivals_s": dict(self.output_arrivals_s),
+            "total_energy_per_cycle_j": self.total_energy_per_cycle_j,
+            "total_cell_area_lambda2": self.total_cell_area_lambda2,
+            "vdd": self.vdd,
+            "pitch_nm": self.pitch_nm,
+        }
+
+    @classmethod
+    def from_payload(cls, payload, provenance):
+        def cell(entry):
+            if isinstance(entry, CircuitCellReport):
+                return entry
+            return CircuitCellReport.from_mapping(entry)
+
+        return cls(
+            provenance=provenance,
+            circuit=payload["circuit"],
+            source=payload["source"],
+            instances=payload["instances"],
+            unique_cells=payload["unique_cells"],
+            cells=tuple(cell(entry) for entry in payload["cells"]),
+            functional_yield=payload["functional_yield"],
+            monte_carlo_yield=payload["monte_carlo_yield"],
+            draws=payload["draws"],
+            defect_histogram=tuple(
+                (int(count), int(freq))
+                for count, freq in payload["defect_histogram"]
+            ),
+            critical_path_delay_s=payload["critical_path_delay_s"],
+            critical_path=tuple(payload["critical_path"]),
+            output_arrivals_s=dict(payload["output_arrivals_s"]),
+            total_energy_per_cycle_j=payload["total_energy_per_cycle_j"],
+            total_cell_area_lambda2=payload["total_cell_area_lambda2"],
+            vdd=payload["vdd"],
+            pitch_nm=payload["pitch_nm"],
+        )
+
+    def __str__(self) -> str:
+        header = (f"{'cell':<12} {'uses':>5} {'trials':>7} {'fail rate':>10} "
+                  f"{'immune':>7}")
+        lines = [
+            f"Circuit study: {self.circuit} ({self.source}) — "
+            f"{self.instances} instances, {self.unique_cells} unique cells",
+            "-" * len(header),
+            header,
+            "-" * len(header),
+        ]
+        for cell in self.cells:
+            lines.append(
+                f"{cell.cell:<12} {cell.instances:>5} {cell.trials:>7} "
+                f"{cell.failure_rate * 100:>9.2f}% {str(cell.immune):>7}"
+            )
+        lines.extend([
+            "",
+            f"functional yield (analytic)   : {self.functional_yield * 100:.3f}%",
+            f"functional yield (Monte Carlo): {self.monte_carlo_yield * 100:.3f}% "
+            f"over {self.draws} draws",
+            f"critical path delay           : {self.critical_path_delay_s * 1e12:.2f} ps "
+            f"({' -> '.join(self.critical_path)})",
+            f"switching energy / cycle      : {self.total_energy_per_cycle_j * 1e15:.2f} fJ "
+            f"at vdd {self.vdd:g} V",
+            f"total cell area               : {self.total_cell_area_lambda2:g} λ²",
+        ])
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
 class EdpSummaryResult(StudyResult):
     """The headline EDP / EDAP summary (abstract + conclusions)."""
 

@@ -15,6 +15,14 @@ which vectorized engine evaluates it:
   ``pitch_nm``.  Grid expansion lowers the whole grid into
   :func:`repro.cells.characterize.characterize_sweep` (one vectorized
   batch per cell); zip expansion characterises each lock-step corner.
+* ``engine="circuit"`` — the circuit-level yield/delay/energy study
+  (:func:`repro.circuit_study.run_circuit_study`).  Axes: ``circuit``
+  (generator spec or Verilog text), ``technique``, ``cnts_per_trial``,
+  ``max_angle_deg``, ``metallic_fraction``, ``vdd``, ``pitch_nm``,
+  ``draws``.  Each corner is one full circuit study; corners differing
+  only in the electrical axes (``vdd``/``pitch_nm``) share one child
+  seed, so their defect populations are identical — the circuit-level
+  analogue of the Figure 2 technique-sharing contract.
 
 Axes not present in the spec take the engine's fixed defaults, which can
 be overridden by keyword (``run_sweep_study(spec, engine="immunity",
@@ -49,6 +57,21 @@ TRANSIENT_AXES: Dict[str, object] = {
     "vdd": 1.0,
     "pitch_nm": 5.0,
 }
+CIRCUIT_AXES: Dict[str, object] = {
+    "circuit": "adder:4",
+    "technique": "compact",
+    "cnts_per_trial": 4,
+    "max_angle_deg": 15.0,
+    "metallic_fraction": 0.0,
+    "vdd": 1.0,
+    "pitch_nm": 5.0,
+    "draws": 2000,
+}
+
+#: Electrical axes whose corners share one defect population (child seed)
+#: in the circuit engine, mirroring the Figure 2 technique-sharing
+#: contract: changing vdd or pitch must not change which defects land.
+_CIRCUIT_SHARE_AXES = ("vdd", "pitch_nm")
 
 
 @dataclass(frozen=True)
@@ -175,9 +198,10 @@ def run_sweep_study(spec: SweepSpec, engine: str = "immunity",
     """
     if not isinstance(spec, SweepSpec):
         raise StudyError(f"run_sweep_study needs a SweepSpec, got {type(spec).__name__}")
-    if engine not in ("immunity", "transient"):
+    if engine not in ("immunity", "transient", "circuit"):
         raise StudyError(
-            f"Unknown sweep engine {engine!r}; use 'immunity' or 'transient'"
+            f"Unknown sweep engine {engine!r}; use 'immunity', 'transient' "
+            "or 'circuit'"
         )
     # Imported lazily: the runtime layer sits on top of the study layer.
     from ..runtime.cache import as_cache, with_cache_status
@@ -185,7 +209,7 @@ def run_sweep_study(spec: SweepSpec, engine: str = "immunity",
     from ..runtime.scheduler import resolve_jobs
 
     store = as_cache(cache)
-    if engine == "immunity" and seed is None:
+    if engine in ("immunity", "circuit") and seed is None:
         # seed=None asks for fresh OS entropy — a deliberately
         # nondeterministic run.  Caching it would serve a stale random
         # draw as a "hit", so the cache is bypassed entirely.
@@ -207,6 +231,9 @@ def run_sweep_study(spec: SweepSpec, engine: str = "immunity",
     elif engine == "immunity":
         records = _run_immunity(spec, trials=trials, seed=seed, fixed=fixed,
                                 jobs=n_jobs, backend=backend)
+    elif engine == "circuit":
+        records = _run_circuit(spec, trials=trials, seed=seed, fixed=fixed,
+                               jobs=n_jobs, backend=backend)
     else:
         records = _run_transient(spec, fixed=fixed, jobs=n_jobs,
                                  backend=backend)
@@ -277,6 +304,37 @@ def _sweep_corner_keys(spec: SweepSpec, engine: str, trials: int, seed,
         ]
         return keys, seeds
 
+    if engine == "circuit":
+        from ..circuit_study.circuits import resolve_circuit
+        from ..runtime.fingerprint import netlist_context
+
+        constants = _fixed_values(CIRCUIT_AXES, spec, fixed, "circuit")
+
+        def value_of(corner, name):
+            return corner.get(name, constants.get(name))
+
+        seeds = spec.seeds(seed, share_axes=_CIRCUIT_SHARE_AXES)
+        # The corner's circuit enters the address through the *resolved*
+        # netlist structure (the context), not through how it was spelled
+        # — so a generator spec and the Verilog text it round-trips
+        # through share corners, while any rewiring misses.  Resolved
+        # once per distinct circuit value, not per corner.
+        contexts: Dict[object, object] = {}
+        keys = []
+        for corner, child in zip(corners, seeds):
+            circuit = value_of(corner, "circuit")
+            if circuit not in contexts:
+                contexts[circuit] = netlist_context(resolve_circuit(circuit)[0])
+            keys.append(corner_fingerprint(
+                "circuit",
+                {name: value_of(corner, name) for name in CIRCUIT_AXES
+                 if name != "circuit"},
+                seed=child,
+                trials=trials,
+                context=contexts[circuit],
+            ))
+        return keys, seeds
+
     from ..cells.characterize import cnfet_technology, grid_time_base
 
     constants = _fixed_values(TRANSIENT_AXES, spec, fixed, "transient")
@@ -341,6 +399,8 @@ def _run_sweep_delta(spec: SweepSpec, engine: str, trials: int, seed,
 
     if engine == "immunity":
         _validate_axes(spec, IMMUNITY_AXES, "immunity")
+    elif engine == "circuit":
+        _validate_axes(spec, CIRCUIT_AXES, "circuit")
     else:
         _validate_axes(spec, TRANSIENT_AXES, "transient")
 
@@ -356,6 +416,12 @@ def _run_sweep_delta(spec: SweepSpec, engine: str, trials: int, seed,
         if engine == "immunity":
             constants = _fixed_values(IMMUNITY_AXES, spec, fixed, "immunity")
             fresh = _execute_immunity_corners(
+                spec, constants, plan.miss_indices, seeds, trials,
+                jobs, backend,
+            )
+        elif engine == "circuit":
+            constants = _fixed_values(CIRCUIT_AXES, spec, fixed, "circuit")
+            fresh = _execute_circuit_corners(
                 spec, constants, plan.miss_indices, seeds, trials,
                 jobs, backend,
             )
@@ -593,6 +659,104 @@ def _run_immunity(spec: SweepSpec, trials: int, seed,
         records.append(SweepRecord(corner=corner,
                                    metrics=_immunity_metrics(result)))
     return records
+
+
+# ---------------------------------------------------------------------------
+# Circuit engine
+# ---------------------------------------------------------------------------
+
+def _circuit_metrics(result) -> Dict[str, Any]:
+    """The scalar corner payload of one circuit study (the full typed
+    result stays reachable through ``run_study("circuit", ...)``; sweep
+    corners store only what the corner table plots)."""
+    return {
+        "functional_yield": result.functional_yield,
+        "monte_carlo_yield": result.monte_carlo_yield,
+        "critical_path_delay_s": result.critical_path_delay_s,
+        "total_energy_per_cycle_j": result.total_energy_per_cycle_j,
+        "total_cell_area_lambda2": result.total_cell_area_lambda2,
+        "instances": result.instances,
+        "unique_cells": result.unique_cells,
+    }
+
+
+@dataclass(frozen=True)
+class _CircuitShard:
+    """A picklable chunk of circuit corners with pre-spawned seeds."""
+
+    values: Tuple[Tuple[Tuple[str, object], ...], ...]  # resolved bindings
+    seeds: Tuple[np.random.SeedSequence, ...]
+    trials: int
+
+
+def _run_circuit_shard(shard: _CircuitShard) -> List[Dict[str, Any]]:
+    """Worker: evaluate one shard's circuit corners (module-level for
+    pickling).  Each corner is a full, uncached, serial inner study —
+    parallelism and caching belong to the sweep driver."""
+    from ..circuit_study import study as circuit_engine
+
+    metrics = []
+    for bindings, child in zip(shard.values, shard.seeds):
+        values = dict(bindings)
+        result = circuit_engine.run_circuit_study(
+            values["circuit"],
+            trials=shard.trials,
+            seed=child,
+            cnts_per_trial=values["cnts_per_trial"],
+            max_angle_deg=values["max_angle_deg"],
+            metallic_fraction=values["metallic_fraction"],
+            technique=values["technique"],
+            vdd=values["vdd"],
+            pitch_nm=values["pitch_nm"],
+            draws=int(values["draws"]),
+        )
+        metrics.append(_circuit_metrics(result))
+    return metrics
+
+
+def _execute_circuit_corners(spec: SweepSpec, constants: Mapping[str, object],
+                             indices: Sequence[int],
+                             seeds: Sequence[np.random.SeedSequence],
+                             trials: int, jobs: int,
+                             backend: Optional[str]) -> List[Dict[str, Any]]:
+    """Evaluate the circuit corners at ``indices`` (with their pre-spawned
+    seeds) through the sharded machinery; metrics in ``indices`` order."""
+    from ..runtime.scheduler import plan_shards, run_tasks
+
+    def value_of(corner, name):
+        return corner.get(name, constants.get(name))
+
+    corners = spec.corners()
+    selected = [corners[index] for index in indices]
+    selected_seeds = [seeds[index] for index in indices]
+    resolved = [
+        tuple((name, value_of(corner, name)) for name in CIRCUIT_AXES)
+        for corner in selected
+    ]
+    shards = [
+        _CircuitShard(
+            values=tuple(resolved[start:stop]),
+            seeds=tuple(selected_seeds[start:stop]),
+            trials=trials,
+        )
+        for start, stop in plan_shards(len(selected), jobs)
+    ]
+    per_shard = run_tasks(_run_circuit_shard, shards, jobs=jobs,
+                          backend=backend)
+    return [metrics for chunk in per_shard for metrics in chunk]
+
+
+def _run_circuit(spec: SweepSpec, trials: int, seed,
+                 fixed: Mapping[str, object], jobs: int = 1,
+                 backend: Optional[str] = None) -> List[SweepRecord]:
+    _validate_axes(spec, CIRCUIT_AXES, "circuit")
+    constants = _fixed_values(CIRCUIT_AXES, spec, fixed, "circuit")
+    corners = spec.corners()
+    seeds = spec.seeds(seed, share_axes=_CIRCUIT_SHARE_AXES)
+    metrics = _execute_circuit_corners(spec, constants, range(len(corners)),
+                                       seeds, trials, jobs, backend)
+    return [SweepRecord(corner=corner, metrics=corner_metrics)
+            for corner, corner_metrics in zip(corners, metrics)]
 
 
 # ---------------------------------------------------------------------------

@@ -14,11 +14,19 @@ from repro.cells import (
     write_liberty,
 )
 from repro.circuit import GateNetlist
-from repro.errors import FlowError, LibraryError, MappingError, PlacementError
+from repro.errors import (
+    FlowError,
+    LibraryError,
+    MappingError,
+    PlacementError,
+    VerilogParseError,
+)
 from repro.flow import (
     CNFETDesignKit,
+    comparator_netlist,
     full_adder_netlist,
     full_adder_verilog,
+    mac_slice_netlist,
     map_netlist,
     parse_structural_verilog,
     place_cmos_reference,
@@ -174,6 +182,141 @@ class TestVerilog:
         assert "sum3" in netlist.outputs
 
 
+def _simulate(netlist, inputs):
+    """Evaluate a NAND2/INV netlist for one boolean input assignment."""
+    nets = dict(inputs)
+    for gate in netlist.topological_order():
+        pins = [nets[n] for n in gate.input_nets()]
+        if gate.cell_type == "NAND2":
+            nets[gate.output_net] = not (pins[0] and pins[1])
+        else:
+            nets[gate.output_net] = not pins[0]
+    return nets
+
+
+class TestGeneratorFamilies:
+    def test_comparator_logic_is_correct(self):
+        netlist = comparator_netlist(bits=2)
+        netlist.validate()
+        for a in range(4):
+            for b in range(4):
+                nets = _simulate(netlist, {
+                    "a0": bool(a & 1), "a1": bool(a & 2),
+                    "b0": bool(b & 1), "b1": bool(b & 2),
+                })
+                assert nets["eq"] == (a == b), (a, b)
+
+    def test_single_bit_comparator_buffers_its_output(self):
+        netlist = comparator_netlist(bits=1)
+        netlist.validate()
+        for a in (0, 1):
+            for b in (0, 1):
+                nets = _simulate(netlist, {"a0": bool(a), "b0": bool(b)})
+                assert nets["eq"] == (a == b), (a, b)
+
+    def test_mac_slice_logic_is_correct(self):
+        """sum = (a & {bits{b}}) + c + cin, checked exhaustively at 2 bits."""
+        netlist = mac_slice_netlist(bits=2)
+        netlist.validate()
+        for a in range(4):
+            for b in (0, 1):
+                for c in range(4):
+                    for cin in (0, 1):
+                        nets = _simulate(netlist, {
+                            "a0": bool(a & 1), "a1": bool(a & 2),
+                            "c0": bool(c & 1), "c1": bool(c & 2),
+                            "b": bool(b), "cin": bool(cin),
+                        })
+                        total = (a if b else 0) + c + cin
+                        word = (int(nets["sum0"]) + 2 * int(nets["sum1"])
+                                + 4 * int(nets["carry1"]))
+                        assert word == total, (a, b, c, cin)
+
+    def test_generators_reject_zero_bits(self):
+        for generator in (ripple_carry_adder_netlist, comparator_netlist,
+                          mac_slice_netlist):
+            with pytest.raises(FlowError):
+                generator(0)
+
+
+class TestVerilogDiagnostics:
+    def test_unknown_cell_reports_line_and_column(self):
+        text = ("module m (a, y);\n"
+                "  input a;\n"
+                "  output y;\n"
+                "  XOR9_2X g0 (.A(a), .out(y));\n"
+                "endmodule\n")
+        with pytest.raises(VerilogParseError) as excinfo:
+            parse_structural_verilog(text)
+        error = excinfo.value
+        assert (error.line, error.column) == (4, 3)
+        assert "XOR9" in str(error)
+        assert "(line 4, column 3)" in str(error)
+
+    def test_duplicate_instance_names_first_declaration(self):
+        text = ("module m (a, y);\n"
+                "  input a;\n"
+                "  output y;\n"
+                "  wire n1;\n"
+                "  INV g1 (.A(a), .out(n1));\n"
+                "  INV g1 (.A(n1), .out(y));\n"
+                "endmodule\n")
+        with pytest.raises(VerilogParseError) as excinfo:
+            parse_structural_verilog(text)
+        error = excinfo.value
+        assert error.line == 6
+        assert "first declared on line 5" in str(error)
+
+    def test_undeclared_net_points_at_the_port(self):
+        text = ("module m (a, y);\n"
+                "  input a;\n"
+                "  output y;\n"
+                "  INV g1 (.A(a), .out(n1));\n"
+                "endmodule\n")
+        with pytest.raises(VerilogParseError) as excinfo:
+            parse_structural_verilog(text)
+        error = excinfo.value
+        assert error.line == 4
+        assert error.column > 10  # the .out(n1) token, not the instance
+        assert "undeclared net 'n1'" in str(error)
+        assert "wire" in str(error)  # the fix is suggested
+
+    def test_comments_do_not_shift_error_locations(self):
+        text = ("module m (a, y);  // ports\n"
+                "  /* a multi-line\n"
+                "     block comment */\n"
+                "  input a;\n"
+                "  output y;\n"
+                "  INV g1 (.A(a), .out(n1));\n"
+                "endmodule\n")
+        with pytest.raises(VerilogParseError) as excinfo:
+            parse_structural_verilog(text)
+        assert excinfo.value.line == 6
+
+    def test_positional_ports_error_is_located(self):
+        text = ("module m (a, y);\n"
+                "  input a;\n"
+                "  output y;\n"
+                "  INV g1 (a, y);\n"
+                "endmodule\n")
+        with pytest.raises(VerilogParseError) as excinfo:
+            parse_structural_verilog(text)
+        assert excinfo.value.line == 4
+
+    def test_known_cells_override_and_opt_out(self):
+        text = ("module m (a, y);\n"
+                "  input a;\n"
+                "  output y;\n"
+                "  XOR9_2X g0 (.A(a), .out(y));\n"
+                "endmodule\n")
+        netlist = parse_structural_verilog(text, known_cells=("xor9",))
+        assert netlist.gates[0].cell_type == "XOR9"
+        netlist = parse_structural_verilog(text, known_cells=False)
+        assert netlist.gates[0].cell_type == "XOR9"
+        with pytest.raises(VerilogParseError):
+            parse_structural_verilog(text, known_cells=("NAND2",))
+
+
 class TestMappingAndPlacement:
     def test_mapping_binds_every_instance(self, small_library):
         design = map_netlist(full_adder_netlist(), small_library)
@@ -196,6 +339,24 @@ class TestMappingAndPlacement:
         netlist.declare_io(["a", "b"], ["y"])
         with pytest.raises(MappingError):
             map_netlist(netlist, small_library)
+
+    def test_mapping_rejects_zero_instance_netlist(self, small_library):
+        netlist = GateNetlist("hollow")
+        netlist.declare_io(["a"], [])
+        with pytest.raises(MappingError, match="no gate instances"):
+            map_netlist(netlist, small_library)
+
+    def test_mapping_lists_every_missing_cell_type(self, small_library):
+        """One error names every uncovered gate type, not just the first."""
+        netlist = GateNetlist("wide")
+        netlist.add_gate("g1", "NOR2", {"A": "a", "B": "b", "out": "n1"})
+        netlist.add_gate("g2", "AOI21", {"A": "n1", "B": "b", "C": "a",
+                                         "out": "y"})
+        netlist.declare_io(["a", "b"], ["y"])
+        with pytest.raises(MappingError) as excinfo:
+            map_netlist(netlist, small_library)
+        message = str(excinfo.value)
+        assert "NOR2" in message and "AOI21" in message
 
     def test_placements_have_no_overlaps(self, small_library):
         design = map_netlist(full_adder_netlist(), small_library)
