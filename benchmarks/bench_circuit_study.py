@@ -12,14 +12,14 @@ cells, so
   at least ``REQUIRED_WARM_SPEEDUP``.
 
 Run under pytest-benchmark (``pytest benchmarks/bench_circuit_study.py``)
-or standalone to (re)generate the checked-in perf snapshot::
+or standalone to (re)generate the checked-in perf snapshot (a
+``repro-bench/v1`` envelope — see ``bench_schema.py``)::
 
     python benchmarks/bench_circuit_study.py            # writes BENCH_circuit.json
     python benchmarks/bench_circuit_study.py --smoke    # small adder, no floor
 """
 
 import argparse
-import json
 import time
 from pathlib import Path
 
@@ -95,6 +95,28 @@ def run_warm_scenario(cache_dir, circuit=CIRCUIT, trials=TRIALS, draws=DRAWS,
     }
 
 
+def circuit_envelope(report, floor):
+    """The scenario report as a ``repro-bench/v1`` envelope."""
+    from bench_schema import bench_envelope
+
+    return bench_envelope(
+        name="circuit_study",
+        params={"engine": "circuit", "circuit": report["circuit"],
+                "trials": report["trials"], "draws": report["draws"],
+                "seed": SEED},
+        wall_seconds={"cold": report["cold_seconds"],
+                      "warm": report["warm_seconds"]},
+        ns_per_unit={"unit": "instance",
+                     "cold": round(report["cold_seconds"]
+                                   / report["instances"] * 1e9),
+                     "warm": round(report["warm_seconds"]
+                                   / report["instances"] * 1e9)},
+        speedup=report["warm_speedup"],
+        floor=floor,
+        detail=report,
+    )
+
+
 def check_warm_contract(report, enforce_floor=True):
     """The hard assertions shared by pytest and standalone runs."""
     assert report["cold_status"] == "miss"
@@ -167,13 +189,11 @@ def main(argv=None):
                                    trials=args.trials,
                                    draws=args.draws)
     check_warm_contract(report, enforce_floor=not args.smoke)
-    rendered = json.dumps(report, indent=2, sort_keys=True) + "\n"
-    print(rendered, end="")
-    if args.out != "-":
-        target = Path(args.out) if args.out else (
-            Path(__file__).resolve().parent.parent / "BENCH_circuit.json")
-        target.write_text(rendered, encoding="utf-8")
-        print(f"wrote {target}")
+    from bench_schema import write_envelope
+
+    envelope = circuit_envelope(
+        report, floor=None if args.smoke else REQUIRED_WARM_SPEEDUP)
+    write_envelope(envelope, args.out, "BENCH_circuit.json")
     return 0
 
 

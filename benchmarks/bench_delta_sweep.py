@@ -10,14 +10,14 @@ one axis value appended must
   63 cached corners are pure JSON reads.
 
 Run under pytest-benchmark (``pytest benchmarks/bench_delta_sweep.py``)
-or standalone to (re)generate the checked-in perf snapshot::
+or standalone to (re)generate the checked-in perf snapshot (a
+``repro-bench/v1`` envelope — see ``bench_schema.py``)::
 
     python benchmarks/bench_delta_sweep.py            # writes BENCH_runtime.json
     python benchmarks/bench_delta_sweep.py --smoke    # small grid, no floor
 """
 
 import argparse
-import json
 import time
 from pathlib import Path
 
@@ -100,6 +100,25 @@ def run_delta_scenario(cache_dir, corners=CORNERS, trials=TRIALS,
     }
 
 
+def delta_envelope(report, floor):
+    """The scenario report as a ``repro-bench/v1`` envelope."""
+    from bench_schema import bench_envelope
+
+    return bench_envelope(
+        name="delta_sweep",
+        params={"engine": "immunity", "corners": report["corners_cold"],
+                "trials": report["trials"], "seed": SEED},
+        wall_seconds={"cold": report["cold_seconds"],
+                      "delta": report["delta_seconds"]},
+        ns_per_unit={"unit": "corner",
+                     "cold": report["ns_per_corner_cold"],
+                     "delta": report["ns_per_corner_delta"]},
+        speedup=report["delta_speedup"],
+        floor=floor,
+        detail=report,
+    )
+
+
 def check_delta_contract(report, enforce_floor=True):
     """The hard assertions shared by pytest and standalone runs."""
     assert report["cold_status"] == "miss"
@@ -169,13 +188,11 @@ def main(argv=None):
                                     corners=args.corners,
                                     trials=args.trials)
     check_delta_contract(report, enforce_floor=not args.smoke)
-    rendered = json.dumps(report, indent=2, sort_keys=True) + "\n"
-    print(rendered, end="")
-    if args.out != "-":
-        target = Path(args.out) if args.out else (
-            Path(__file__).resolve().parent.parent / "BENCH_runtime.json")
-        target.write_text(rendered, encoding="utf-8")
-        print(f"wrote {target}")
+    from bench_schema import write_envelope
+
+    envelope = delta_envelope(
+        report, floor=None if args.smoke else REQUIRED_DELTA_SPEEDUP)
+    write_envelope(envelope, args.out, "BENCH_runtime.json")
     return 0
 
 

@@ -1,0 +1,62 @@
+"""``repro-bench/v1``: the one envelope every benchmark writer emits.
+
+Before this module each ``benchmarks/bench_*.py`` invented its own flat
+report, so the checked-in ``BENCH_*.json`` snapshots could not be
+compared, diffed, or regression-gated uniformly.  Now every writer
+funnels through :func:`bench_envelope`:
+
+* ``name`` / ``params`` — which benchmark, at what configuration;
+* ``wall_seconds`` — the named wall-clock measurements (``cold``,
+  ``warm``, ``delta``, ...);
+* ``ns_per_unit`` — the normalised cost ``{"unit": <what>, ...}`` the
+  ROADMAP's raw-speed tracking wants (ns per corner, per corner-step);
+* ``speedup`` — the benchmark's headline ratio (``null`` for
+  tracking-only benchmarks with no cached/uncached contrast);
+* ``floor`` — the minimum acceptable ``speedup`` (``null`` in smoke
+  runs and for tracking-only benchmarks), which is what
+  ``tools/bench_report.py`` gates CI on;
+* ``detail`` — the benchmark's full legacy report, kept verbatim so no
+  information is lost in the unification.
+
+``tools/bench_report.py`` diffs a fresh envelope against the checked-in
+snapshot and exits non-zero when the current speedup falls below the
+snapshot's floor.
+"""
+
+import json
+from pathlib import Path
+
+BENCH_SCHEMA = "repro-bench/v1"
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def bench_envelope(name, params, wall_seconds, ns_per_unit=None,
+                   speedup=None, floor=None, detail=None):
+    """Assemble one ``repro-bench/v1`` document (plain JSON types only)."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "name": name,
+        "params": dict(params),
+        "wall_seconds": {key: round(float(value), 4)
+                         for key, value in wall_seconds.items()},
+        "ns_per_unit": dict(ns_per_unit) if ns_per_unit else None,
+        "speedup": None if speedup is None else round(float(speedup), 2),
+        "floor": None if floor is None else float(floor),
+        "detail": dict(detail) if detail else {},
+    }
+
+
+def write_envelope(envelope, out, default_filename):
+    """Print the envelope; write it unless ``out`` is ``'-'``.
+
+    ``out=None`` targets the repo-root snapshot ``default_filename`` —
+    the path convention every ``bench_*.py`` ``main()`` shares.
+    """
+    rendered = json.dumps(envelope, indent=2, sort_keys=True) + "\n"
+    print(rendered, end="")
+    if out != "-":
+        target = Path(out) if out else REPO_ROOT / default_filename
+        target.write_text(rendered, encoding="utf-8")
+        print(f"wrote {target}")
+    return rendered

@@ -50,6 +50,7 @@ from ..flow.techmap import map_netlist
 from ..immunity import montecarlo
 from ..immunity.montecarlo import SeedLike, circuit_cell_seed, circuit_survival_draws
 from ..logic.functions import standard_gate
+from ..obs import trace as obs_trace
 from ..runtime.cache import CacheLike, as_cache, with_cache_status
 from ..runtime.fingerprint import corner_fingerprint, netlist_context
 from ..runtime.scheduler import plan_delta, run_tasks
@@ -229,24 +230,30 @@ def run_circuit_study(
         ))
 
     store = as_cache(cache)
-    cached: Dict[str, Any] = (
-        store.get_corners(keys) if store is not None else {}
-    )
-    plan = plan_delta(keys, set(cached))
-    miss_results = run_tasks(
-        _run_cell_task,
-        [tasks[i] for i in plan.miss_indices],
-        jobs=workers,
-        backend=backend,
-    )
-    metrics: List[Dict[str, Any]] = [None] * len(keys)  # type: ignore[list-item]
-    for index in plan.hit_indices:
-        metrics[index] = cached[keys[index]]
-    for index, outcome in zip(plan.miss_indices, miss_results):
-        metrics[index] = outcome
-        if store is not None:
-            store.put_corner(keys[index], outcome,
-                             engine=f"circuit-{tasks[index].kind}")
+    with obs_trace.span("circuit", circuit=netlist.name,
+                        instances=len(netlist.gates),
+                        unique_cells=len(groups),
+                        cached=store is not None):
+        cached: Dict[str, Any] = (
+            store.get_corners(keys) if store is not None else {}
+        )
+        plan = plan_delta(keys, set(cached))
+        obs_trace.annotate(hits=plan.hits, misses=plan.misses,
+                           status=plan.status)
+        miss_results = run_tasks(
+            _run_cell_task,
+            [tasks[i] for i in plan.miss_indices],
+            jobs=workers,
+            backend=backend,
+        )
+        metrics: List[Dict[str, Any]] = [None] * len(keys)  # type: ignore[list-item]
+        for index in plan.hit_indices:
+            metrics[index] = cached[keys[index]]
+        for index, outcome in zip(plan.miss_indices, miss_results):
+            metrics[index] = outcome
+            if store is not None:
+                store.put_corner(keys[index], outcome,
+                                 engine=f"circuit-{tasks[index].kind}")
 
     reports: List[CircuitCellReport] = []
     failure_by_cell: Dict[str, float] = {}

@@ -22,6 +22,9 @@ RPL008   no bare ``except:`` and no ``except Exception: pass``
 RPL009   one concurrency surface: no ``threading`` primitive construction
          (``Thread``/``Lock``/``Condition``/...) outside
          ``runtime/scheduler.py`` and ``service/jobs.py``
+RPL010   clock confinement: wall-clock/monotonic reads only inside the
+         ``obs/`` package — everything else takes time through
+         ``repro.obs.clock``
 =======  ==================================================================
 
 Rules resolve dotted names through each module's import aliases
@@ -545,4 +548,39 @@ class SingleConcurrencySurfaceRule(Rule):
                         f"{canonical}() constructed outside the concurrency "
                         "surface — spawn workers in service/jobs.py, mint "
                         "locks with runtime.scheduler.make_lock()",
+                    )
+
+
+@register
+class ClockConfinementRule(Rule):
+    """RPL010 — clocks are read only inside ``repro/obs``.
+
+    The observability layer's hard contract is that tracing is
+    observation-only; the enforceable half of that is *where time can be
+    read at all*.  Every ``time.time``/``time.monotonic``/
+    ``time.perf_counter``/``datetime.now``-family call outside the
+    ``obs/`` package is flagged — instrumented layers take their
+    timestamps through :mod:`repro.obs.clock` (or record them via
+    :mod:`repro.obs.trace` spans), so no numeric path can branch on a
+    clock without tripping this rule.  RPL003 stays as the stricter
+    fence on the fingerprinted modules themselves.
+    """
+
+    id = "RPL010"
+    summary = ("wall-clock/monotonic reads only inside the obs/ package "
+               "(read time through repro.obs.clock)")
+    CLOCKS = NoWallClockRule.CLOCKS
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.under("obs"):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                canonical = module.resolve(node.func)
+                if canonical in self.CLOCKS:
+                    yield module.finding(
+                        self, node,
+                        f"{canonical}() outside repro/obs — read clocks "
+                        "through repro.obs.clock (or record spans via "
+                        "repro.obs.trace)",
                     )

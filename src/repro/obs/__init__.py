@@ -1,0 +1,39 @@
+"""repro.obs — structured tracing, metrics, and the repo's only clocks.
+
+Three stdlib-only modules:
+
+* :mod:`repro.obs.clock` — the sole sanctioned readers of
+  ``time.time``/``time.monotonic``/``time.perf_counter`` (reprolint
+  RPL010 fences every other module);
+* :mod:`repro.obs.metrics` — a process-wide registry of counters and
+  fixed-bucket histograms, snapshotted by ``GET /metrics`` and every
+  trace envelope;
+* :mod:`repro.obs.trace` — the span tracer and its module-level
+  helpers (:func:`span`, :func:`annotate`, :func:`event`, :func:`add`)
+  that every instrumented layer calls; all of them no-op when no tracer
+  is active, which is what makes tracing observation-only.
+"""
+
+from . import clock
+from .metrics import DEFAULT_BUCKETS, MetricsRegistry, registry, reset_registry
+from .trace import (TRACE_SCHEMA, Span, Tracer, add, annotate, current_tracer,
+                    event, span, summarize_trace, trace_counters, write_trace)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "Span",
+    "TRACE_SCHEMA",
+    "Tracer",
+    "add",
+    "annotate",
+    "clock",
+    "current_tracer",
+    "event",
+    "registry",
+    "reset_registry",
+    "span",
+    "summarize_trace",
+    "trace_counters",
+    "write_trace",
+]

@@ -1,0 +1,118 @@
+"""Process-wide metrics registry: counters and fixed-bucket histograms.
+
+A deliberately small, stdlib-only aggregation surface.  Counters are
+monotonically increasing floats; histograms have *fixed* bucket edges
+chosen at registration time (so two snapshots are always mergeable and
+the wire form is stable).  The registry is shared process state — the
+service's ``GET /metrics`` endpoint and every trace envelope embed a
+snapshot of it — but reading it never mutates it, and nothing in the
+numeric pipeline ever reads it back, so it cannot perturb payloads.
+
+>>> reg = MetricsRegistry()
+>>> reg.inc("cache.hits", 2)
+>>> reg.observe("queue.latency_s", 0.25, buckets=(0.1, 1.0, 10.0))
+>>> snap = reg.snapshot()
+>>> snap["counters"]["cache.hits"]
+2.0
+>>> snap["histograms"]["queue.latency_s"]["counts"]
+[0, 1, 0, 0]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+# Module-object import (names resolved at call time) so that the
+# cache -> obs -> runtime import triangle stays robust regardless of
+# which package a consumer imports first.
+from ..runtime import scheduler as _scheduler
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "registry",
+    "reset_registry",
+]
+
+#: Default histogram edges (seconds): micro-task through long batch job.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0, 600.0,
+)
+
+
+class MetricsRegistry:
+    """Thread-safe counters plus fixed-bucket histograms."""
+
+    def __init__(self) -> None:
+        self._lock = _scheduler.make_lock()
+        self._counters: Dict[str, float] = {}
+        # name -> (edges, per-bucket counts incl. +inf overflow, sum, count)
+        self._histograms: Dict[str, Dict[str, Any]] = {}
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to counter ``name`` (created at zero)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + float(value)
+
+    def observe(self, name: str, value: float,
+                buckets: Optional[Sequence[float]] = None) -> None:
+        """Record ``value`` into histogram ``name``.
+
+        ``buckets`` fixes the edges on first observation and is ignored
+        afterwards — edges are part of the histogram's identity.
+        """
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                edges = tuple(float(e) for e in (buckets or DEFAULT_BUCKETS))
+                hist = {
+                    "edges": edges,
+                    "counts": [0] * (len(edges) + 1),
+                    "sum": 0.0,
+                    "count": 0,
+                }
+                self._histograms[name] = hist
+            value = float(value)
+            index = len(hist["edges"])
+            for position, edge in enumerate(hist["edges"]):
+                if value <= edge:
+                    index = position
+                    break
+            hist["counts"][index] += 1
+            hist["sum"] += value
+            hist["count"] += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A deep, JSON-ready copy of the current state."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "histograms": {
+                    name: {
+                        "edges": list(hist["edges"]),
+                        "counts": list(hist["counts"]),
+                        "sum": hist["sum"],
+                        "count": hist["count"],
+                    }
+                    for name, hist in self._histograms.items()
+                },
+            }
+
+    def reset(self) -> None:
+        """Drop every counter and histogram (tests only)."""
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide registry every layer reports into."""
+    return _REGISTRY
+
+
+def reset_registry() -> None:
+    """Clear the process-wide registry (test isolation helper)."""
+    _REGISTRY.reset()

@@ -44,12 +44,14 @@ import hashlib
 import json
 import os
 import tempfile
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Sequence, Tuple, Union
 
 from ..errors import CacheError
+from ..obs import clock as obs_clock
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..study.results import StudyResult
 from .scheduler import make_lock
 
@@ -258,6 +260,9 @@ class ResultCache:
         by a process-wide per-store lock (shared across instances), so
         concurrent service jobs never drop an increment; the replace
         itself is atomic, so a reader never sees half a file."""
+        self._mirror(hits=hits, misses=misses, corrupt=corrupt,
+                     corner_hits=corner_hits, corner_misses=corner_misses,
+                     corner_corrupt=corner_corrupt)
         with _stats_lock(self._stats_path):
             counters = self._counters()
             counters["hits"] += hits
@@ -266,11 +271,21 @@ class ResultCache:
             counters["corner_hits"] += corner_hits
             counters["corner_misses"] += corner_misses
             counters["corner_corrupt"] += corner_corrupt
-            counters["updated"] = time.time()
+            counters["updated"] = obs_clock.wall_time()
             try:
                 self._write_atomic(self._stats_path, json.dumps(counters))
             except OSError:
                 pass
+
+    @staticmethod
+    def _mirror(**deltas: int) -> None:
+        """Mirror nonzero counter deltas into the process metrics registry
+        and the active trace span (if any).  ``stats.json`` stays the
+        durable record; the obs copies are the live, queryable view."""
+        for name, value in deltas.items():
+            if value:
+                obs_metrics.registry().inc(f"cache.{name}", value)
+                obs_trace.add(f"cache.{name}", value)
 
     def _counters(self) -> Dict[str, Any]:
         try:
@@ -309,6 +324,8 @@ class ResultCache:
         if result is None:
             self._bump(misses=1, corrupt=1 if corrupt else 0)
             if corrupt:
+                obs_trace.event("cache.evict", key=key, kind="study")
+                obs_metrics.registry().inc("cache.evictions")
                 try:
                     path.unlink()
                 except OSError:
@@ -348,7 +365,7 @@ class ResultCache:
             "fingerprint": key,
             "study": type(result).study_name,
             "sha256": _envelope_digest(envelope),
-            "created": time.time(),
+            "created": obs_clock.wall_time(),
             "result": envelope,
         }
         path = self.path_for(key)
@@ -358,6 +375,7 @@ class ResultCache:
             raise CacheError(
                 f"Cannot write cache entry {path}: {error}"
             ) from error
+        self._mirror(puts=1)
         return path
 
     # -- the corner store ------------------------------------------------------
@@ -392,6 +410,8 @@ class ResultCache:
             except Exception:
                 corrupt = True
         if value is None and corrupt:
+            obs_trace.event("cache.evict", key=key, kind="corner")
+            obs_metrics.registry().inc("cache.evictions")
             try:
                 path.unlink()
             except OSError:
@@ -459,7 +479,7 @@ class ResultCache:
             "study": "corner",
             "engine": engine,
             "sha256": _envelope_digest(payload),
-            "created": time.time(),
+            "created": obs_clock.wall_time(),
             "payload": payload,
         }
         path = self.corner_path_for(key)
@@ -469,6 +489,7 @@ class ResultCache:
             raise CacheError(
                 f"Cannot write corner entry {path}: {error}"
             ) from error
+        self._mirror(corner_puts=1)
         return path
 
     # -- maintenance -----------------------------------------------------------
@@ -527,7 +548,7 @@ class ResultCache:
         if max_entries is not None and max_entries < 0:
             raise CacheError(f"max_entries must be >= 0, got {max_entries!r}")
         removed = 0
-        now = time.time()
+        now = obs_clock.wall_time()
         for tree_paths in (list(self._entries()), list(self._corner_entries())):
             candidates = []
             for path in tree_paths:

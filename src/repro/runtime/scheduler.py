@@ -93,14 +93,42 @@ def run_tasks(
     completion order; the process backend requires ``fn`` and every task
     to be picklable (module-level functions, frozen dataclasses).
     """
+    # Imported here, not at module top: obs itself obtains its locks from
+    # this module, so the dependency must stay one-way at import time.
+    from ..obs import trace as obs_trace
+
     jobs = resolve_jobs(jobs)
     backend = resolve_backend(backend, jobs)
+    tracer = obs_trace.current_tracer()
     if backend == "serial" or jobs <= 1 or len(tasks) <= 1:
-        return [fn(task) for task in tasks]
+        if tracer is None:
+            return [fn(task) for task in tasks]
+        with obs_trace.span("scheduler.run_tasks", backend="serial",
+                            jobs=jobs, tasks=len(tasks)):
+            results = []
+            for index, task in enumerate(tasks):
+                with obs_trace.span("scheduler.task", index=index):
+                    results.append(fn(task))
+            return results
     executor_type = (ProcessPoolExecutor if backend == "process"
                      else ThreadPoolExecutor)
     with executor_type(max_workers=min(jobs, len(tasks))) as pool:
-        return list(pool.map(fn, tasks))
+        if tracer is None:
+            return list(pool.map(fn, tasks))
+        # Traced path: submit each task individually and collect results
+        # in submission order — equivalent to ``pool.map`` (same ordered
+        # results, same worker fan-out), but each wait is attributable
+        # to one task span.  Workers never see the tracer (it is
+        # thread-local, and process workers share nothing), so traced
+        # and untraced execution feed ``fn`` identical inputs.
+        with obs_trace.span("scheduler.run_tasks", backend=backend,
+                            jobs=jobs, tasks=len(tasks)):
+            futures = [pool.submit(fn, task) for task in tasks]
+            results = []
+            for index, future in enumerate(futures):
+                with obs_trace.span("scheduler.task", index=index):
+                    results.append(future.result())
+            return results
 
 
 def make_lock() -> threading.Lock:

@@ -39,12 +39,14 @@ as each one lands in the store).
 from __future__ import annotations
 
 import threading
-import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Deque, Dict, List, Optional
 
 from ..errors import ServiceError
+from ..obs import clock as obs_clock
+from ..obs import metrics as obs_metrics
+from ..obs.trace import Tracer
 from ..runtime.cache import ResultCache, as_cache
 from ..study.results import StudyResult
 from .api import JobSubmission
@@ -80,6 +82,11 @@ class Job:
     progress_done: int = 0
     result: Optional[StudyResult] = None
     error: Optional[Dict[str, Any]] = None
+    #: The job's ``repro-trace/v1`` envelope, recorded by the worker on
+    #: completion (success or failure).  Deliberately NOT part of
+    #: :meth:`document` — the job wire form predates tracing and stays
+    #: byte-identical; ``GET /jobs/<id>/trace`` serves this separately.
+    trace_document: Optional[Dict[str, Any]] = None
 
     def document(self) -> Dict[str, Any]:
         """The job's wire form (the ``GET /jobs/<id>`` body)."""
@@ -152,6 +159,9 @@ class JobManager:
         self._settled = threading.Condition(self._lock)
         self._closing = False
         self._sequence = 0
+        self._workers = workers
+        self._started_monotonic = obs_clock.monotonic()
+        self._busy_seconds = 0.0
         self._threads = [
             threading.Thread(target=self._work, daemon=True,
                              name=f"repro-job-worker-{index}")
@@ -188,7 +198,7 @@ class JobManager:
                 id=f"job-{self._sequence:06d}",
                 submission=submission,
                 fingerprint=key,
-                created=time.time(),
+                created=obs_clock.wall_time(),
                 progress_total=submission.total_corners(),
             )
             self._jobs[job.id] = job
@@ -238,12 +248,13 @@ class JobManager:
     def wait(self, job_id: str, timeout: Optional[float] = None) -> Job:
         """Block until the job reaches a terminal state (or the timeout
         lapses); returns the job either way."""
-        deadline = None if timeout is None else time.monotonic() + timeout
+        deadline = (None if timeout is None
+                    else obs_clock.monotonic() + timeout)
         with self._settled:
             job = self._get(job_id)
             while job.status not in TERMINAL_STATES:
                 remaining = None if deadline is None \
-                    else deadline - time.monotonic()
+                    else deadline - obs_clock.monotonic()
                 if remaining is not None and remaining <= 0:
                     break
                 self._settled.wait(remaining)
@@ -263,7 +274,8 @@ class JobManager:
                     "be cancelled"
                 )
             job.status = CANCELLED
-            job.finished = time.time()
+            job.finished = obs_clock.wall_time()
+            obs_metrics.registry().inc("service.jobs_cancelled")
             self._settled.notify_all()
             return job
 
@@ -279,7 +291,8 @@ class JobManager:
                     job = self._jobs[self._queue.popleft()]
                     if job.status == QUEUED:
                         job.status = CANCELLED
-                        job.finished = time.time()
+                        job.finished = obs_clock.wall_time()
+                        obs_metrics.registry().inc("service.jobs_cancelled")
                 self._settled.notify_all()
             self._wakeup.notify_all()
         for thread in self._threads:
@@ -311,26 +324,83 @@ class JobManager:
                 if job.status != QUEUED:
                     continue                 # cancelled while queued
                 job.status = RUNNING
-                job.started = time.time()
+                job.started = obs_clock.wall_time()
                 submission = job.submission
+            obs_metrics.registry().observe(
+                "service.queue_latency_s", max(job.started - job.created, 0.0)
+            )
             store = self._job_store(job)
+            # Every job gets its own tracer: the worker thread activates
+            # it around the engine run, so the cache / sweep / scheduler
+            # instrumentation lands in this job's envelope and concurrent
+            # workers never interleave (the active tracer is
+            # thread-local).
+            tracer = Tracer(f"job:{job.id}", job=job.id,
+                            fingerprint=job.fingerprint,
+                            kind=submission.kind)
+            busy_start = obs_clock.monotonic()
             try:
-                result = submission.run(cache=store, jobs=self._engine_jobs,
-                                        backend=self._backend)
+                with tracer.activate():
+                    with tracer.span("job.run", kind=submission.kind):
+                        result = submission.run(cache=store,
+                                                jobs=self._engine_jobs,
+                                                backend=self._backend)
             except Exception as error:
+                obs_metrics.registry().inc("service.jobs_failed")
                 with self._lock:
+                    self._busy_seconds += obs_clock.monotonic() - busy_start
                     job.status = FAILED
                     job.error = error_payload(error)
-                    job.finished = time.time()
+                    job.finished = obs_clock.wall_time()
+                    job.trace_document = tracer.to_document()
                     self._settled.notify_all()
             else:
+                obs_metrics.registry().inc("service.jobs_done")
                 with self._lock:
+                    self._busy_seconds += obs_clock.monotonic() - busy_start
                     job.status = DONE
                     job.result = result
-                    job.finished = time.time()
+                    job.finished = obs_clock.wall_time()
+                    job.trace_document = tracer.to_document()
                     if job.progress_total is not None:
                         job.progress_done = job.progress_total
                     self._settled.notify_all()
+
+    # -- observability ---------------------------------------------------------
+
+    def trace(self, job_id: str) -> Dict[str, Any]:
+        """The finished job's ``repro-trace/v1`` envelope;
+        :class:`JobStateError` while the job has not run yet."""
+        with self._lock:
+            job = self._get(job_id)
+            if job.trace_document is None:
+                raise JobStateError(
+                    f"Job {job_id} is {job.status}; its trace is recorded "
+                    "when the job finishes"
+                )
+            return job.trace_document
+
+    def metrics_document(self) -> Dict[str, Any]:
+        """The ``GET /metrics`` body: pool health plus a snapshot of the
+        process-wide metrics registry (queue latency histogram, cache
+        counters, sweep planner counters)."""
+        with self._lock:
+            by_status = {state: 0 for state in JOB_STATES}
+            for job in self._jobs.values():
+                by_status[job.status] += 1
+            queue_depth = len(self._queue)
+            busy = self._busy_seconds
+        uptime = max(obs_clock.monotonic() - self._started_monotonic, 1e-9)
+        return {
+            "schema": "repro-metrics/v1",
+            "workers": self._workers,
+            "uptime_s": uptime,
+            "worker_busy_s": busy,
+            "worker_utilization": busy / (uptime * self._workers),
+            "jobs": by_status,
+            "queue_depth": queue_depth,
+            "metrics": obs_metrics.registry().snapshot(),
+        }
 
 
 __all__ = [

@@ -1,4 +1,4 @@
-"""The HTTP face of the study service: stdlib only, five endpoints.
+"""The HTTP face of the study service: stdlib only, eight endpoints.
 
 ============================  ==============================================
 endpoint                      meaning
@@ -11,8 +11,12 @@ endpoint                      meaning
 ``GET /jobs/<id>``            one job's status/progress document
 ``GET /jobs/<id>/result``     the finished job's tagged-JSON envelope —
                               byte-identical to ``repro run --json``
+``GET /jobs/<id>/trace``      the finished job's ``repro-trace/v1``
+                              envelope (409 until the job has run)
 ``DELETE /jobs/<id>``         cancel a *queued* job
 ``GET /health``               liveness probe
+``GET /metrics``              pool health (queue depth, worker
+                              utilization) + process metrics snapshot
 ============================  ==============================================
 
 Errors arrive as ``{"error": {"type", "message", "repro"}}`` with the
@@ -142,6 +146,11 @@ class _Handler(BaseHTTPRequestHandler):
                     and parts[2] == "result":
                 result = self.manager.result(parts[1])
                 self._send_json(200, result.to_json_dict())
+            elif len(parts) == 3 and parts[0] == "jobs" \
+                    and parts[2] == "trace":
+                self._send_json(200, self.manager.trace(parts[1]))
+            elif parts == ["metrics"]:
+                self._send_json(200, self.manager.metrics_document())
             else:
                 raise JobNotFound(f"No such endpoint: GET {self.path}")
         except Exception as error:
@@ -198,8 +207,10 @@ def describe_endpoints() -> Dict[str, str]:
         "GET /jobs": "list jobs",
         "GET /jobs/<id>": "job status and progress",
         "GET /jobs/<id>/result": "finished job's result envelope",
+        "GET /jobs/<id>/trace": "finished job's repro-trace/v1 envelope",
         "DELETE /jobs/<id>": "cancel a queued job",
         "GET /health": "liveness probe",
+        "GET /metrics": "pool health + process metrics snapshot",
     }
 
 

@@ -16,6 +16,9 @@ Examples::
     python -m repro sweep --engine circuit --axis metallic_fraction=0:0.02:3 \
         --set circuit=adder:4 --set draws=500 --json -
     python -m repro batch manifest.json --cache .repro-cache --jobs 4
+    python -m repro sweep --engine immunity --axis cnts_per_trial=2,4,8 \
+        --cache .repro-cache --trace sweep-trace.json --json -
+    python -m repro trace summarize sweep-trace.json
     python -m repro serve --port 8000 --cache .repro-cache --workers 2
     python -m repro cache stats --cache .repro-cache
     python -m repro cache prune --cache .repro-cache
@@ -37,6 +40,11 @@ store and only missing corners execute, so extending an axis of an
 already-cached sweep costs O(delta), not O(grid).  The cache outcome
 (``hit`` / ``miss`` / ``partial:<hits>/<corners>``) is written to stderr
 and recorded in the result's provenance.
+
+``--trace PATH`` (``run``, ``sweep``, ``circuit``, ``batch``) records a
+``repro-trace/v1`` envelope of the invocation — spans, cache counters,
+metrics snapshot — without changing the result by a single byte;
+``repro trace summarize PATH`` renders its per-phase time breakdown.
 """
 
 from __future__ import annotations
@@ -46,6 +54,7 @@ import inspect
 import json as json_module
 import os
 import sys
+from contextlib import contextmanager
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..errors import ReproError, StudyError
@@ -128,6 +137,28 @@ def _note_cache(result: StudyResult, store, stderr) -> None:
         stderr.write(f"cache {result.provenance.cache}: {store.root}\n")
 
 
+@contextmanager
+def _traced(args, name: str, stderr):
+    """Trace the wrapped invocation when ``--trace PATH`` was given.
+
+    Activates a fresh tracer around the body (the instrumented layers
+    pick it up thread-locally), then writes the ``repro-trace/v1``
+    envelope to the requested path.  Without ``--trace`` this is a pure
+    pass-through — the command runs exactly as before.
+    """
+    path = getattr(args, "trace", None)
+    if not path:
+        yield
+        return
+    from ..obs import trace as obs_trace
+
+    tracer = obs_trace.Tracer(name, command=name.partition(":")[0])
+    with tracer.activate():
+        yield
+    obs_trace.write_trace(tracer.to_document(), path)
+    stderr.write(f"trace written: {path}\n")
+
+
 def _emit(result: StudyResult, json_target: Optional[str],
           as_text: bool, stdout) -> None:
     if json_target is not None:
@@ -191,7 +222,9 @@ def _cmd_run(args, stdout, stderr) -> int:
             )
         params["trials"] = args.trials
     store = _resolve_cache(args)
-    result = run_study(definition.name, cache=store, jobs=args.jobs, **params)
+    with _traced(args, f"run:{definition.name}", stderr):
+        result = run_study(definition.name, cache=store, jobs=args.jobs,
+                           **params)
     _note_cache(result, store, stderr)
     _emit(result, args.json, args.text, stdout)
     return 0
@@ -211,8 +244,9 @@ def _cmd_sweep(args, stdout, stderr) -> int:
             "(the transient engine is deterministic)"
         )
     store = _resolve_cache(args)
-    result = run_sweep_study(spec, engine=args.engine, jobs=args.jobs,
-                             backend=args.backend, cache=store, **kwargs)
+    with _traced(args, f"sweep:{args.engine}", stderr):
+        result = run_sweep_study(spec, engine=args.engine, jobs=args.jobs,
+                                 backend=args.backend, cache=store, **kwargs)
     _note_cache(result, store, stderr)
     _emit(result, args.json, args.text, stdout)
     return 0
@@ -242,8 +276,10 @@ def _cmd_circuit(args, stdout, stderr) -> int:
     if args.seed is not None:
         params["seed"] = args.seed
     store = _resolve_cache(args)
-    result = run_circuit_study(circuit, workers=args.jobs,
-                               backend=args.backend, cache=store, **params)
+    with _traced(args, "circuit", stderr):
+        result = run_circuit_study(circuit, workers=args.jobs,
+                                   backend=args.backend, cache=store,
+                                   **params)
     _note_cache(result, store, stderr)
     _emit(result, args.json, args.text, stdout)
     return 0
@@ -253,7 +289,8 @@ def _cmd_batch(args, stdout, stderr) -> int:
     from ..runtime.manifest import run_manifest
 
     store = _resolve_cache(args)
-    result = run_manifest(args.manifest, cache=store, jobs=args.jobs)
+    with _traced(args, "batch", stderr):
+        result = run_manifest(args.manifest, cache=store, jobs=args.jobs)
     _emit(result, args.json, args.text, stdout)
     return 0
 
@@ -314,8 +351,26 @@ def _cmd_cache(args, stdout, stderr) -> int:
     return 0
 
 
+def _cmd_trace(args, stdout, stderr) -> int:
+    from ..obs import trace as obs_trace
+
+    try:
+        with open(args.file, "r", encoding="utf-8") as stream:
+            document = json_module.load(stream)
+    except ValueError as error:
+        raise StudyError(f"{args.file} is not JSON: {error}") from error
+    found = document.get("schema") if isinstance(document, dict) else None
+    if found != obs_trace.TRACE_SCHEMA:
+        raise StudyError(
+            f"{args.file} is not a {obs_trace.TRACE_SCHEMA} envelope "
+            f"(schema={found!r})"
+        )
+    stdout.write(obs_trace.summarize_trace(document) + "\n")
+    return 0
+
+
 def _add_runtime_flags(parser: argparse.ArgumentParser,
-                       backend: bool = False) -> None:
+                       backend: bool = False, trace: bool = True) -> None:
     """The scheduler/cache flags shared by ``run``, ``sweep``, ``batch``."""
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="shard the work over N workers (bit-identical "
@@ -326,6 +381,11 @@ def _add_runtime_flags(parser: argparse.ArgumentParser,
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the result cache even if "
                              "$REPRO_CACHE_DIR is set")
+    if trace:
+        parser.add_argument("--trace", metavar="PATH", default=None,
+                            help="write a repro-trace/v1 envelope of this "
+                                 "invocation to PATH (observation-only: "
+                                 "the result is bit-identical either way)")
     if backend:
         parser.add_argument("--backend", choices=("serial", "thread", "process"),
                             default=None,
@@ -453,8 +513,23 @@ def build_parser() -> argparse.ArgumentParser:
                               help="concurrent job slots (default: 2)")
     serve_parser.add_argument("--verbose", action="store_true",
                               help="log each HTTP request to stderr")
-    _add_runtime_flags(serve_parser, backend=True)
+    # The service records one trace per job (GET /jobs/<id>/trace), so a
+    # process-level --trace would be misleading here.
+    _add_runtime_flags(serve_parser, backend=True, trace=False)
     serve_parser.set_defaults(handler=_cmd_serve)
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="inspect repro-trace/v1 envelopes written by --trace")
+    trace_sub = trace_parser.add_subparsers(dest="trace_command",
+                                            required=True)
+    summarize_parser = trace_sub.add_parser(
+        "summarize",
+        help="per-phase time breakdown of a trace file")
+    summarize_parser.add_argument("file",
+                                  help="trace JSON written by --trace or "
+                                       "GET /jobs/<id>/trace")
+    summarize_parser.set_defaults(handler=_cmd_trace)
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or prune the result cache")

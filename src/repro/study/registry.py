@@ -159,6 +159,7 @@ def run_study(name: str, cache=None, jobs: "int | None" = None,
             )
     # Imported lazily: the runtime layer sits on top of the study layer,
     # so a module-level import here would be circular.
+    from ..obs import trace as obs_trace
     from ..runtime.cache import as_cache, with_cache_status
     from ..runtime.fingerprint import study_fingerprint
 
@@ -167,12 +168,17 @@ def run_study(name: str, cache=None, jobs: "int | None" = None,
         # An explicit seed=None asks for fresh OS entropy — caching that
         # would serve a stale random draw as a "hit", so bypass.
         store = None
-    if store is None:
-        return definition.runner(**params)
-    key = study_fingerprint(definition.name, params=params)
-    cached = store.get(key)
-    if cached is not None:
-        return with_cache_status(cached, "hit")
-    result = definition.runner(**params)
-    store.put(key, result)
-    return with_cache_status(result, "miss")
+    with obs_trace.span(f"study:{definition.name}",
+                        study=definition.name, cached=store is not None):
+        if store is None:
+            return definition.runner(**params)
+        key = study_fingerprint(definition.name, params=params)
+        obs_trace.annotate(fingerprint=key)
+        cached = store.get(key)
+        if cached is not None:
+            obs_trace.annotate(cache="hit")
+            return with_cache_status(cached, "hit")
+        result = definition.runner(**params)
+        store.put(key, result)
+        obs_trace.annotate(cache="miss")
+        return with_cache_status(result, "miss")

@@ -204,6 +204,7 @@ def run_sweep_study(spec: SweepSpec, engine: str = "immunity",
             "or 'circuit'"
         )
     # Imported lazily: the runtime layer sits on top of the study layer.
+    from ..obs import trace as obs_trace
     from ..runtime.cache import as_cache, with_cache_status
     from ..runtime.fingerprint import sweep_fingerprint
     from ..runtime.scheduler import resolve_jobs
@@ -214,44 +215,51 @@ def run_sweep_study(spec: SweepSpec, engine: str = "immunity",
         # nondeterministic run.  Caching it would serve a stale random
         # draw as a "hit", so the cache is bypassed entirely.
         store = None
-    key = None
-    if store is not None:
-        key = sweep_fingerprint(spec, engine, trials, seed, fixed)
-        cached = store.get(key)
-        if cached is not None:
-            return with_cache_status(cached, "hit")
+    with obs_trace.span(f"sweep:{engine}", engine=engine, mode=spec.mode,
+                        corners=len(spec.corners()), trials=trials,
+                        cached=store is not None):
+        key = None
+        if store is not None:
+            key = sweep_fingerprint(spec, engine, trials, seed, fixed)
+            obs_trace.annotate(fingerprint=key)
+            cached = store.get(key)
+            if cached is not None:
+                obs_trace.annotate(cache="hit")
+                return with_cache_status(cached, "hit")
 
-    n_jobs = resolve_jobs(jobs)
-    status = None
-    if store is not None:
-        records, status = _run_sweep_delta(
-            spec, engine=engine, trials=trials, seed=seed, fixed=fixed,
-            store=store, jobs=n_jobs, backend=backend,
+        n_jobs = resolve_jobs(jobs)
+        status = None
+        if store is not None:
+            records, status = _run_sweep_delta(
+                spec, engine=engine, trials=trials, seed=seed, fixed=fixed,
+                store=store, jobs=n_jobs, backend=backend,
+            )
+        elif engine == "immunity":
+            records = _run_immunity(spec, trials=trials, seed=seed,
+                                    fixed=fixed, jobs=n_jobs, backend=backend)
+        elif engine == "circuit":
+            records = _run_circuit(spec, trials=trials, seed=seed,
+                                   fixed=fixed, jobs=n_jobs, backend=backend)
+        else:
+            records = _run_transient(spec, fixed=fixed, jobs=n_jobs,
+                                     backend=backend)
+        result = SweepStudyResult(
+            provenance=Provenance.capture(
+                "sweep", engine=engine, seed=seed,
+                params={"axes": {axis.name: axis.values
+                                 for axis in spec.axes},
+                        "mode": spec.mode, "trials": trials, "seed": seed,
+                        **fixed},
+            ),
+            spec=spec,
+            engine=engine,
+            records=tuple(records),
         )
-    elif engine == "immunity":
-        records = _run_immunity(spec, trials=trials, seed=seed, fixed=fixed,
-                                jobs=n_jobs, backend=backend)
-    elif engine == "circuit":
-        records = _run_circuit(spec, trials=trials, seed=seed, fixed=fixed,
-                               jobs=n_jobs, backend=backend)
-    else:
-        records = _run_transient(spec, fixed=fixed, jobs=n_jobs,
-                                 backend=backend)
-    result = SweepStudyResult(
-        provenance=Provenance.capture(
-            "sweep", engine=engine, seed=seed,
-            params={"axes": {axis.name: axis.values for axis in spec.axes},
-                    "mode": spec.mode, "trials": trials, "seed": seed,
-                    **fixed},
-        ),
-        spec=spec,
-        engine=engine,
-        records=tuple(records),
-    )
-    if store is not None:
-        store.put(key, result)
-        result = with_cache_status(result, status or "miss")
-    return result
+        if store is not None:
+            store.put(key, result)
+            result = with_cache_status(result, status or "miss")
+            obs_trace.annotate(cache=result.provenance.cache)
+        return result
 
 
 # ---------------------------------------------------------------------------
@@ -395,6 +403,7 @@ def _run_sweep_delta(spec: SweepSpec, engine: str, trials: int, seed,
     """Diff the requested grid against the corner store, execute only the
     missing corners, merge.  Returns ``(records, status)`` with records
     bit-identical to a cold serial run."""
+    from ..obs import trace as obs_trace
     from ..runtime.scheduler import plan_delta
 
     if engine == "immunity":
@@ -405,35 +414,46 @@ def _run_sweep_delta(spec: SweepSpec, engine: str, trials: int, seed,
         _validate_axes(spec, TRANSIENT_AXES, "transient")
 
     corners = spec.corners()
-    keys, seeds = _sweep_corner_keys(spec, engine, trials, seed, fixed)
-    cached = store.get_corners(keys)
-    plan = plan_delta(keys, set(cached))
+    with obs_trace.span("sweep.plan", corners=len(corners)):
+        keys, seeds = _sweep_corner_keys(spec, engine, trials, seed, fixed)
+        cached = store.get_corners(keys)
+        plan = plan_delta(keys, set(cached))
+        obs_trace.annotate(hits=plan.hits, misses=plan.misses,
+                           status=plan.status)
+    from ..obs import metrics as obs_metrics
+    obs_metrics.registry().inc("sweep.corners_planned", plan.total)
+    obs_metrics.registry().inc("sweep.corners_cached", plan.hits)
+    obs_metrics.registry().inc("sweep.corners_executed", plan.misses)
 
     metrics_by_index: Dict[int, Dict[str, Any]] = {
         index: cached[keys[index]] for index in plan.hit_indices
     }
     if plan.miss_indices:
-        if engine == "immunity":
-            constants = _fixed_values(IMMUNITY_AXES, spec, fixed, "immunity")
-            fresh = _execute_immunity_corners(
-                spec, constants, plan.miss_indices, seeds, trials,
-                jobs, backend,
-            )
-        elif engine == "circuit":
-            constants = _fixed_values(CIRCUIT_AXES, spec, fixed, "circuit")
-            fresh = _execute_circuit_corners(
-                spec, constants, plan.miss_indices, seeds, trials,
-                jobs, backend,
-            )
-        else:
-            constants = _fixed_values(TRANSIENT_AXES, spec, fixed,
-                                      "transient")
-            fresh = _execute_transient_corners(
-                spec, constants, plan.miss_indices, jobs, backend,
-            )
-        for index, metrics in zip(plan.miss_indices, fresh):
-            metrics_by_index[index] = metrics
-            store.put_corner(keys[index], metrics, engine=engine)
+        with obs_trace.span("sweep.execute", corners=plan.misses,
+                            engine=engine):
+            if engine == "immunity":
+                constants = _fixed_values(IMMUNITY_AXES, spec, fixed,
+                                          "immunity")
+                fresh = _execute_immunity_corners(
+                    spec, constants, plan.miss_indices, seeds, trials,
+                    jobs, backend,
+                )
+            elif engine == "circuit":
+                constants = _fixed_values(CIRCUIT_AXES, spec, fixed,
+                                          "circuit")
+                fresh = _execute_circuit_corners(
+                    spec, constants, plan.miss_indices, seeds, trials,
+                    jobs, backend,
+                )
+            else:
+                constants = _fixed_values(TRANSIENT_AXES, spec, fixed,
+                                          "transient")
+                fresh = _execute_transient_corners(
+                    spec, constants, plan.miss_indices, jobs, backend,
+                )
+            for index, metrics in zip(plan.miss_indices, fresh):
+                metrics_by_index[index] = metrics
+                store.put_corner(keys[index], metrics, engine=engine)
 
     records = [
         SweepRecord(corner=corner, metrics=metrics_by_index[index])

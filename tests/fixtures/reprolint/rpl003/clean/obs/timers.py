@@ -1,0 +1,9 @@
+"""RPL003 negative fixture: wall-clock reads are fine in modules that
+never feed a content address (this file is not a fingerprinted module —
+and it lives under ``obs/``, the one place RPL010 sanctions clocks)."""
+
+import time
+
+
+def stopwatch():
+    return time.time()

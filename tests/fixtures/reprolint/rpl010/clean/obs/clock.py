@@ -1,0 +1,16 @@
+"""RPL010 clean fixture: inside ``obs/`` the clock readers are legal —
+this is exactly where ``repro.obs.clock`` lives."""
+
+import time
+
+
+def wall_time():
+    return time.time()
+
+
+def monotonic():
+    return time.monotonic()
+
+
+def perf_counter():
+    return time.perf_counter()

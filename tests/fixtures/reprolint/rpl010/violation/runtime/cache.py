@@ -1,0 +1,14 @@
+"""RPL010 violation fixture: a clock read outside the obs/ package."""
+
+import time
+from datetime import datetime
+
+
+def stamp_entry(entry):
+    entry["created"] = time.time()
+    entry["pretty"] = datetime.now().isoformat()
+    return entry
+
+
+def elapsed(start):
+    return time.monotonic() - start

@@ -32,7 +32,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC_DIR = REPO_ROOT / "src"
 FIXTURES = REPO_ROOT / "tests" / "fixtures" / "reprolint"
 
-RULE_IDS = [f"RPL{n:03d}" for n in range(1, 10)]
+RULE_IDS = [f"RPL{n:03d}" for n in range(1, 11)]
 
 
 def _fixture(rule_id: str, kind: str) -> Path:
@@ -117,7 +117,7 @@ class TestEngine:
         rules = resolve_rules(ignore=["RPL006", "RPL008"])
         assert [rule.id for rule in rules] == [
             "RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL007",
-            "RPL009",
+            "RPL009", "RPL010",
         ]
 
     def test_resolve_rules_unknown_id(self):
